@@ -1,0 +1,52 @@
+"""Experiment Fig. 3 -- transient waveforms of the SABL AND-NAND gate.
+
+Paper claim: the instantaneous output voltages and the supply current of
+the SABL AND-NAND gate are independent of the input event; the figure
+shows the (0,1) and (1,1) transients to be indistinguishable.
+"""
+
+import pytest
+
+from repro.reporting import ascii_waveform, format_table
+from repro.sabl import SABLGate
+
+
+EVENTS = {"(0,1)": {"A": False, "B": True}, "(1,1)": {"A": True, "B": True}}
+
+
+def test_fig3_supply_current_and_outputs(benchmark, and2_fc, technology):
+    gate = SABLGate(and2_fc, technology.scaled(time_step=10e-12))
+
+    def run():
+        return {
+            label: gate.transient([event, event]) for label, event in EVENTS.items()
+        }
+
+    results = benchmark(run)
+
+    rows = []
+    for label, result in results.items():
+        rows.append(
+            [
+                label,
+                f"{result.cycle_charges[-1] * 1e15:.2f}",
+                f"{result.cycle_energies[-1] * 1e15:.2f}",
+                f"{result.supply_current().peak() * 1e6:.1f}",
+            ]
+        )
+    print()
+    print(format_table(
+        ["input event", "steady-cycle charge [fC]", "energy [fJ]", "peak i_VDD [uA]"],
+        rows,
+        title="Fig. 3 -- SABL AND-NAND transient, per-cycle supply charge",
+    ))
+    reference = results["(1,1)"].supply_current()
+    other = results["(0,1)"].supply_current()
+    relative = other.rms_difference(reference) / reference.peak()
+    print(f"supply-current waveform RMS difference between events: {relative * 100:.2f}% of peak")
+    print("paper: waveforms for the two events are visually identical.")
+    print(ascii_waveform(reference.window(0, gate.technology.clock_period), width=70, height=10))
+
+    charges = [result.cycle_charges[-1] for result in results.values()]
+    assert max(charges) == pytest.approx(min(charges), rel=0.02)
+    assert relative < 0.05

@@ -1,0 +1,62 @@
+"""Experiment Fig. 6 -- enhanced fully connected AND-NAND.
+
+Paper claim: inserting a pass-gate (two dummy transistors) for every
+input that does not control a device on a discharge path makes the
+evaluation depth -- and therefore the discharge resistance and the gate
+delay -- independent of the input event, and removes early propagation.
+The trade-off is an increase in area (device count) and in total load
+capacitance.
+"""
+
+import pytest
+
+from repro.core import (
+    check_constant_evaluation_depth,
+    check_no_early_propagation,
+    enhance_fc_dpdn_with_insertions,
+)
+from repro.electrical import extract_capacitances
+from repro.network import evaluation_depths
+from repro.reporting import format_table
+
+
+def test_fig6_enhanced_and_nand(benchmark, and2_fc, technology):
+    result = benchmark(lambda: enhance_fc_dpdn_with_insertions(and2_fc))
+    enhanced = result.dpdn
+
+    def depth_range(dpdn):
+        depths = [d for d in evaluation_depths(dpdn).values() if d is not None]
+        return f"{min(depths)}..{max(depths)}"
+
+    rows = []
+    for name, network in (("fully connected", and2_fc), ("enhanced", enhanced)):
+        capacitance = extract_capacitances(network, technology).total()
+        rows.append([
+            name,
+            network.device_count(),
+            sum(1 for t in network.transistors if t.role == "dummy"),
+            depth_range(network),
+            "yes" if check_constant_evaluation_depth(network).passed else "no",
+            "yes" if check_no_early_propagation(network).passed else "no",
+            f"{capacitance * 1e15:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["network", "devices", "dummy devices", "eval depth", "constant depth",
+         "no early propagation", "total DPDN cap [fF]"],
+        rows,
+        title="Fig. 6 -- AND-NAND: fully connected vs enhanced fully connected",
+    ))
+    print("paper: the enhanced network adds 2 dummy transistors (one pass-gate on A), "
+          "making the depth constant and eliminating early propagation, at the cost "
+          "of area and load capacitance.")
+
+    assert result.dummy_device_count == 2
+    assert check_constant_evaluation_depth(enhanced).passed
+    assert check_no_early_propagation(enhanced).passed
+    assert not check_constant_evaluation_depth(and2_fc).passed
+    overhead = (
+        extract_capacitances(enhanced, technology).total()
+        - extract_capacitances(and2_fc, technology).total()
+    )
+    assert overhead > 0

@@ -1,0 +1,81 @@
+"""Ablation -- the constant-power property across technology cards and models.
+
+DESIGN.md calls out two ablations beyond the paper's figures:
+
+* the claim is independent of the technology card (0.18 um / 0.13 um /
+  65 nm class parameters): the fully connected gate is constant-power on
+  every card, the genuine gate varies on every card;
+* the charge-based model and the RC-transient engine agree on the
+  per-cycle charge of the fully connected gate (cross-check of the two
+  substitutions for HSPICE).
+"""
+
+import pytest
+
+from repro.electrical import EventEnergyModel, generic_65nm, generic_130nm, generic_180nm
+from repro.power import energy_statistics
+from repro.reporting import format_table
+from repro.sabl import SABLGate
+
+CARDS = {
+    "generic-180nm": generic_180nm(),
+    "generic-130nm": generic_130nm(),
+    "generic-65nm": generic_65nm(),
+}
+
+
+def test_constant_power_across_technology_cards(benchmark, and2_fc, and2_genuine):
+    def run():
+        rows = {}
+        for name, card in CARDS.items():
+            fc = energy_statistics(
+                [r.energy for r in EventEnergyModel(and2_fc, card).sweep()]
+            )
+            genuine = energy_statistics(
+                [r.energy for r in EventEnergyModel(and2_genuine, card).sweep()]
+            )
+            rows[name] = (fc, genuine)
+        return rows
+
+    rows = benchmark(run)
+
+    table = []
+    for name, (fc, genuine) in rows.items():
+        table.append([
+            name,
+            f"{fc.mean * 1e15:.2f}",
+            f"{fc.ned * 100:.2f}%",
+            f"{genuine.mean * 1e15:.2f}",
+            f"{genuine.ned * 100:.2f}%",
+        ])
+    print()
+    print(format_table(
+        ["technology card", "FC mean energy [fJ]", "FC NED", "genuine mean energy [fJ]",
+         "genuine NED"],
+        table,
+        title="Ablation -- constant power across technology cards (AND-NAND)",
+    ))
+
+    for name, (fc, genuine) in rows.items():
+        assert fc.ned == pytest.approx(0.0, abs=1e-12), name
+        assert genuine.ned > 0.0, name
+
+
+def test_charge_model_vs_transient_engine(benchmark, and2_fc):
+    technology = generic_180nm().scaled(time_step=10e-12)
+
+    def run():
+        gate = SABLGate(and2_fc, technology)
+        model = gate.event_model
+        event = {"A": True, "B": True}
+        transient = gate.transient([event, event])
+        return (
+            model.discharged_capacitance(event),
+            transient.cycle_charges[-1] / technology.vdd,
+        )
+
+    model_capacitance, transient_capacitance = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"charge-based model: {model_capacitance * 1e15:.2f} fF per cycle; "
+          f"RC transient engine: {transient_capacitance * 1e15:.2f} fF per cycle")
+    assert transient_capacitance == pytest.approx(model_capacitance, rel=0.25)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure (or in-text claim) of the paper
+and prints the corresponding rows/series next to the paper's values, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+log behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import synthesize_fc_dpdn
+from repro.electrical import generic_180nm
+from repro.network import build_genuine_dpdn
+
+
+@pytest.fixture(scope="session")
+def technology():
+    return generic_180nm()
+
+
+@pytest.fixture(scope="session")
+def and2():
+    return parse("A & B")
+
+
+@pytest.fixture(scope="session")
+def oai22():
+    return parse("((A | B) & (C | D))'")
+
+
+@pytest.fixture(scope="session")
+def and2_genuine(and2):
+    return build_genuine_dpdn(and2, name="AND2_genuine")
+
+
+@pytest.fixture(scope="session")
+def and2_fc(and2):
+    return synthesize_fc_dpdn(and2, name="AND2_fc")

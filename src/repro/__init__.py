@@ -1,0 +1,66 @@
+"""repro: fully connected differential pull-down networks for constant-power logic.
+
+A from-scratch Python reproduction of "Design Method for Constant Power
+Consumption of Differential Logic Circuits" (Tiri & Verbauwhede, DATE
+2005): Boolean-expression and switch-level netlist substrates, the
+paper's synthesis / transformation / enhancement methods, charge-based
+and transient electrical models of SABL and CVSL gates, and a
+differential-power-analysis harness that demonstrates the protection.
+
+Quick start::
+
+    from repro import parse, synthesize_fc_dpdn, verify_gate
+
+    dpdn = synthesize_fc_dpdn(parse("(A | B) & C"))
+    print(verify_gate(dpdn).describe())
+"""
+
+from .boolexpr import Expr, Var, And, Or, Not, Xor, parse, truth_table, equivalent, vars_
+from .network import (
+    DifferentialPullDownNetwork,
+    Literal,
+    Transistor,
+    build_genuine_dpdn,
+    is_fully_connected,
+    to_spice_subckt,
+)
+from .core import (
+    STANDARD_CELL_SPECS,
+    build_cell,
+    build_library,
+    enhance_fc_dpdn,
+    synthesize_fc_dpdn,
+    transform_to_fc,
+    verify_gate,
+)
+from .electrical import Technology, generic_180nm, EventEnergyModel, CycleEnergySimulator
+from .sabl import SABLGate, CVSLGate, map_expressions, CircuitPowerSimulator
+from .power import (
+    PRESENT_SBOX,
+    acquire_circuit_traces,
+    build_sbox_circuit,
+    cpa_correlation,
+    dpa_difference_of_means,
+    energy_statistics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # boolexpr
+    "Expr", "Var", "And", "Or", "Not", "Xor", "parse", "truth_table", "equivalent", "vars_",
+    # network
+    "DifferentialPullDownNetwork", "Literal", "Transistor", "build_genuine_dpdn",
+    "is_fully_connected", "to_spice_subckt",
+    # core
+    "synthesize_fc_dpdn", "transform_to_fc", "enhance_fc_dpdn", "verify_gate",
+    "build_cell", "build_library", "STANDARD_CELL_SPECS",
+    # electrical
+    "Technology", "generic_180nm", "EventEnergyModel", "CycleEnergySimulator",
+    # sabl
+    "SABLGate", "CVSLGate", "map_expressions", "CircuitPowerSimulator",
+    # power
+    "PRESENT_SBOX", "build_sbox_circuit", "acquire_circuit_traces",
+    "dpa_difference_of_means", "cpa_correlation", "energy_statistics",
+]

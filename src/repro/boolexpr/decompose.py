@@ -1,0 +1,134 @@
+"""Binary AND/OR decomposition of expressions for the synthesis procedure.
+
+Step 1 of the paper's design method (Section 4.1) is to *"identify two
+expressions x and y that combine to the logical function f; the result is
+either an AND-operation (f = x.y) or an OR-operation (f = x+y)"*.  Step 4
+repeats the decomposition on ``x`` and ``y`` until only single literals
+remain.
+
+This module performs that identification.  An n-ary AND/OR node is split
+into a binary combination of a head expression and the remaining tail;
+two splitting policies are supported because the choice affects the
+*shape* (evaluation depth) of the resulting network but not its
+full-connectivity -- this is one of the ablation knobs listed in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .ast import And, Const, Expr, Not, Or, Var
+from .transforms import is_literal, to_nnf
+
+__all__ = ["DecompositionStyle", "Decomposition", "decompose", "decomposition_tree_depth"]
+
+
+class DecompositionStyle(enum.Enum):
+    """How an n-ary operator is split into a binary (x, y) pair.
+
+    ``LINEAR``
+        ``A & B & C & D`` becomes ``A & (B & (C & D))`` -- matches the way
+        hand-drawn transistor stacks are usually built, one device at a
+        time, and matches the paper's worked examples.
+    ``BALANCED``
+        ``A & B & C & D`` becomes ``(A & B) & (C & D)`` -- produces more
+        balanced sub-networks and usually shallower recursion.
+    """
+
+    LINEAR = "linear"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Result of one decomposition step.
+
+    Attributes:
+        kind: ``"and"``, ``"or"`` or ``"literal"``.
+        x: first sub-expression (``None`` for literals).
+        y: second sub-expression (``None`` for literals).
+        literal: the literal expression when ``kind == "literal"``.
+    """
+
+    kind: str
+    x: Optional[Expr] = None
+    y: Optional[Expr] = None
+    literal: Optional[Expr] = None
+
+    @property
+    def is_literal(self) -> bool:
+        return self.kind == "literal"
+
+
+def decompose(
+    expr: Expr, style: DecompositionStyle = DecompositionStyle.LINEAR
+) -> Decomposition:
+    """Perform Step 1 of the design procedure on ``expr``.
+
+    ``expr`` must be in negation normal form (AND/OR over literals);
+    :func:`repro.boolexpr.transforms.to_nnf` produces that form.  Constants
+    are rejected: a DPDN realising a constant function would short an
+    output node to Z permanently, which has no meaning in dynamic logic.
+
+    Returns a :class:`Decomposition` whose ``kind`` says whether the top
+    operation is an AND, an OR or a bare literal.
+    """
+    if isinstance(expr, Const):
+        raise ValueError(
+            "cannot decompose a constant function; constant-output gates are "
+            "not meaningful as differential pull-down networks"
+        )
+    if is_literal(expr):
+        return Decomposition(kind="literal", literal=expr)
+    if isinstance(expr, Not):
+        raise ValueError(
+            f"expression {expr!r} is not in negation normal form; call to_nnf() first"
+        )
+    if isinstance(expr, (And, Or)):
+        kind = "and" if isinstance(expr, And) else "or"
+        x, y = _split(expr.args, type(expr), style)
+        return Decomposition(kind=kind, x=x, y=y)
+    raise ValueError(
+        f"expression {expr!r} cannot be decomposed; lower XOR with to_nnf() first"
+    )
+
+
+def _split(
+    args: Tuple[Expr, ...], operator: type, style: DecompositionStyle
+) -> Tuple[Expr, Expr]:
+    """Split the operand tuple of an n-ary node into two sub-expressions."""
+    if len(args) == 2:
+        return args[0], args[1]
+    if style is DecompositionStyle.LINEAR:
+        head, tail = args[0], args[1:]
+        y = tail[0] if len(tail) == 1 else operator(*tail)
+        return head, y
+    middle = len(args) // 2
+    left, right = args[:middle], args[middle:]
+    x = left[0] if len(left) == 1 else operator(*left)
+    y = right[0] if len(right) == 1 else operator(*right)
+    return x, y
+
+
+def decomposition_tree_depth(
+    expr: Expr, style: DecompositionStyle = DecompositionStyle.LINEAR
+) -> int:
+    """Depth of the binary decomposition tree of ``expr``.
+
+    A literal has depth 0.  This predicts (and for series stacks equals)
+    the evaluation depth of the DPDN built by the synthesis procedure, so
+    the cell-library benchmark reports it for both decomposition styles.
+    """
+    expr = to_nnf(expr)
+    return _tree_depth(expr, style)
+
+
+def _tree_depth(expr: Expr, style: DecompositionStyle) -> int:
+    decomposition = decompose(expr, style)
+    if decomposition.is_literal:
+        return 0
+    assert decomposition.x is not None and decomposition.y is not None
+    return 1 + max(_tree_depth(decomposition.x, style), _tree_depth(decomposition.y, style))

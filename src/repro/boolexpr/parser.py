@@ -1,0 +1,207 @@
+"""Parser for Boolean expression text.
+
+The grammar accepted mirrors the notation used throughout the paper and
+common EDA tools (Liberty / eqn-style function strings)::
+
+    expr    := xorterm ( ("|" | "+") xorterm )*
+    xorterm := term ( "^" term )*
+    term    := factor ( ("&" | "*" | "." )? factor )*       # juxtaposition = AND
+    factor  := ("~" | "!") factor | atom ( "'" )*
+    atom    := "0" | "1" | identifier | "(" expr ")"
+
+Examples that all parse to the same AND-NAND function::
+
+    parse("A & B")
+    parse("A*B")
+    parse("A B")
+    parse("(A)(B)")
+
+Postfix ``'`` and prefix ``~`` / ``!`` both denote complement, so the
+OAI22 function of the paper's design example can be written
+``"((A | B) & (C | D))'"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .ast import FALSE, TRUE, And, Expr, Not, Or, Var, Xor
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message} at position {position}\n  {text}\n  {pointer}")
+        self.text = text
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(\[[0-9]+\])?)
+  | (?P<const>[01])
+  | (?P<op>[&*.|+^~!'()])
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.kind}, {self.value!r}, {self.position})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", text, position)
+        if match.lastgroup != "ws":
+            kind = match.lastgroup or "op"
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect_op(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token.kind != "op" or token.value != value:
+            position = token.position if token is not None else len(self.text)
+            raise ParseError(f"expected {value!r}", self.text, position)
+        self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        position = token.position if token is not None else len(self.text)
+        return ParseError(message, self.text, position)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Expr:
+        if not self.tokens:
+            raise ParseError("empty expression", self.text, 0)
+        expr = self._parse_or()
+        if self._peek() is not None:
+            raise self._error("unexpected trailing input")
+        return expr
+
+    def _parse_or(self) -> Expr:
+        operands = [self._parse_xor()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value in ("|", "+"):
+                self._advance()
+                operands.append(self._parse_xor())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return Or(*operands)
+
+    def _parse_xor(self) -> Expr:
+        operands = [self._parse_and()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value == "^":
+                self._advance()
+                operands.append(self._parse_and())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return Xor(*operands)
+
+    def _parse_and(self) -> Expr:
+        operands = [self._parse_factor()]
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "op" and token.value in ("&", "*", "."):
+                self._advance()
+                operands.append(self._parse_factor())
+            elif token.kind in ("ident", "const") or (
+                token.kind == "op" and token.value in ("(", "~", "!")
+            ):
+                # Juxtaposition: "A B", "A(B|C)", "A ~B" all mean AND.
+                operands.append(self._parse_factor())
+            else:
+                break
+        if len(operands) == 1:
+            return operands[0]
+        return And(*operands)
+
+    def _parse_factor(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of expression")
+        if token.kind == "op" and token.value in ("~", "!"):
+            self._advance()
+            return Not(self._parse_factor())
+        expr = self._parse_atom()
+        # Postfix complement(s): A' or A''.
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "op" and token.value == "'":
+                self._advance()
+                expr = Not(expr)
+            else:
+                break
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of expression")
+        if token.kind == "ident":
+            self._advance()
+            return Var(token.value)
+        if token.kind == "const":
+            self._advance()
+            return TRUE if token.value == "1" else FALSE
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            expr = self._parse_or()
+            self._expect_op(")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r}")
+
+
+def parse(text: str) -> Expr:
+    """Parse ``text`` into a Boolean :class:`~repro.boolexpr.ast.Expr`."""
+    return _Parser(text).parse()

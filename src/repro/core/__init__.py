@@ -1,0 +1,92 @@
+"""The paper's contribution: fully connected DPDN design methods.
+
+* :mod:`repro.core.synthesis` -- Section 4.1, construction from a Boolean
+  expression.
+* :mod:`repro.core.transform` -- Section 4.2, transformation of an
+  existing genuine DPDN.
+* :mod:`repro.core.enhance` -- Section 5, pass-gate insertion for
+  constant evaluation depth and no early propagation.
+* :mod:`repro.core.verify` -- checkers for every property the paper
+  claims.
+* :mod:`repro.core.library` -- secure standard-cell library generation.
+"""
+
+from .enhance import (
+    EnhancementError,
+    EnhancementResult,
+    PassGateInsertion,
+    enhance_fc_dpdn,
+    enhance_fc_dpdn_with_insertions,
+)
+from .library import (
+    Cell,
+    CellSpec,
+    CellStatistics,
+    STANDARD_CELL_SPECS,
+    build_cell,
+    build_library,
+    library_statistics,
+    standard_cell_specs,
+)
+from .synthesis import (
+    SynthesisResult,
+    SynthesisStep,
+    synthesize_fc_dpdn,
+    synthesize_fc_dpdn_with_steps,
+)
+from .transform import (
+    NotDualError,
+    TransformationMove,
+    TransformationResult,
+    transform_to_fc,
+    transform_to_fc_with_moves,
+)
+from .verify import (
+    CheckResult,
+    GateReport,
+    VerificationError,
+    assert_valid_fc_gate,
+    check_constant_evaluation_depth,
+    check_device_count_preserved,
+    check_differential_function,
+    check_fully_connected,
+    check_memory_effect_free,
+    check_no_early_propagation,
+    verify_gate,
+)
+
+__all__ = [
+    "synthesize_fc_dpdn",
+    "synthesize_fc_dpdn_with_steps",
+    "SynthesisResult",
+    "SynthesisStep",
+    "transform_to_fc",
+    "transform_to_fc_with_moves",
+    "TransformationResult",
+    "TransformationMove",
+    "NotDualError",
+    "enhance_fc_dpdn",
+    "enhance_fc_dpdn_with_insertions",
+    "EnhancementResult",
+    "EnhancementError",
+    "PassGateInsertion",
+    "verify_gate",
+    "GateReport",
+    "CheckResult",
+    "VerificationError",
+    "assert_valid_fc_gate",
+    "check_differential_function",
+    "check_fully_connected",
+    "check_memory_effect_free",
+    "check_constant_evaluation_depth",
+    "check_no_early_propagation",
+    "check_device_count_preserved",
+    "CellSpec",
+    "Cell",
+    "CellStatistics",
+    "STANDARD_CELL_SPECS",
+    "standard_cell_specs",
+    "build_cell",
+    "build_library",
+    "library_statistics",
+]

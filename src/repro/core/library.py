@@ -1,0 +1,218 @@
+"""Secure standard-cell library generation.
+
+The paper's method is a *library* methodology: given any Boolean function
+a designer wants as a SABL gate, Section 4 produces the fully connected
+pull-down network for it.  This module packages that flow:
+
+* a catalogue of common cell functions (the paper's AND-NAND and OAI22
+  examples plus the usual 2-4 input standard cells),
+* :func:`build_cell`, which produces for one function the genuine
+  network, the fully connected network (by synthesis and, where the
+  genuine network is series-parallel, by transformation), and the
+  enhanced network,
+* :func:`build_library` / :func:`library_statistics`, the sweep used by
+  the cell-library benchmark (Extension A in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..boolexpr.ast import Expr
+from ..boolexpr.decompose import DecompositionStyle
+from ..boolexpr.parser import parse
+from ..network.analysis import evaluation_depths, is_fully_connected
+from ..network.netlist import DifferentialPullDownNetwork
+from ..network.sptree import NotSeriesParallelError
+from .enhance import enhance_fc_dpdn
+from .synthesis import synthesize_fc_dpdn
+from .transform import NotDualError, transform_to_fc
+from ..network.build import build_genuine_dpdn
+from .verify import verify_gate
+
+__all__ = [
+    "CellSpec",
+    "Cell",
+    "CellStatistics",
+    "STANDARD_CELL_SPECS",
+    "standard_cell_specs",
+    "build_cell",
+    "build_library",
+    "library_statistics",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A named cell function."""
+
+    name: str
+    expression: str
+    description: str = ""
+
+    def function(self) -> Expr:
+        return parse(self.expression)
+
+
+#: The default catalogue.  ``AND2`` is the AND-NAND gate of the paper's
+#: Figs. 2/3/4/6; ``OAI22`` is the design example of Fig. 5.
+STANDARD_CELL_SPECS: Tuple[CellSpec, ...] = (
+    CellSpec("BUF", "A", "buffer / inverter (differential gates provide both polarities)"),
+    CellSpec("AND2", "A & B", "2-input AND-NAND (paper Fig. 2)"),
+    CellSpec("OR2", "A | B", "2-input OR-NOR"),
+    CellSpec("XOR2", "A ^ B", "2-input XOR-XNOR"),
+    CellSpec("AND3", "A & B & C", "3-input AND-NAND"),
+    CellSpec("OR3", "A | B | C", "3-input OR-NOR"),
+    CellSpec("AND4", "A & B & C & D", "4-input AND-NAND"),
+    CellSpec("OR4", "A | B | C | D", "4-input OR-NOR"),
+    CellSpec("AO21", "(A & B) | C", "AND-OR 2-1"),
+    CellSpec("OA21", "(A | B) & C", "OR-AND 2-1"),
+    CellSpec("AO22", "(A & B) | (C & D)", "AND-OR 2-2 (complement of the paper's OAI22 example)"),
+    CellSpec("OAI22", "((A | B) & (C | D))'", "OR-AND-invert 2-2 (paper Fig. 5 design example)"),
+    CellSpec("MUX2", "(S & A) | (~S & B)", "2-to-1 multiplexer"),
+    CellSpec("MAJ3", "(A & B) | (B & C) | (A & C)", "3-input majority (full-adder carry)"),
+    CellSpec("XOR3", "A ^ B ^ C", "3-input XOR (full-adder sum)"),
+    CellSpec("AOI21", "((A & B) | C)'", "AND-OR-invert 2-1"),
+    CellSpec("OAI21", "((A | B) & C)'", "OR-AND-invert 2-1"),
+)
+
+
+def standard_cell_specs() -> Tuple[CellSpec, ...]:
+    """The default cell catalogue (copy-safe accessor)."""
+    return STANDARD_CELL_SPECS
+
+
+@dataclass
+class Cell:
+    """All network variants generated for one cell function."""
+
+    spec: CellSpec
+    function: Expr
+    genuine: DifferentialPullDownNetwork
+    fully_connected: DifferentialPullDownNetwork
+    transformed: Optional[DifferentialPullDownNetwork]
+    enhanced: DifferentialPullDownNetwork
+
+    def variants(self) -> Dict[str, DifferentialPullDownNetwork]:
+        result = {
+            "genuine": self.genuine,
+            "fully_connected": self.fully_connected,
+            "enhanced": self.enhanced,
+        }
+        if self.transformed is not None:
+            result["transformed"] = self.transformed
+        return result
+
+
+@dataclass(frozen=True)
+class CellStatistics:
+    """Summary row of the cell-library benchmark."""
+
+    name: str
+    inputs: int
+    genuine_devices: int
+    fc_devices: int
+    enhanced_devices: int
+    dummy_devices: int
+    genuine_internal_nodes: int
+    fc_internal_nodes: int
+    genuine_fully_connected: bool
+    fc_fully_connected: bool
+    genuine_depth_range: Tuple[int, int]
+    fc_depth_range: Tuple[int, int]
+    enhanced_depth_range: Tuple[int, int]
+
+
+def build_cell(
+    spec: CellSpec, style: DecompositionStyle = DecompositionStyle.LINEAR
+) -> Cell:
+    """Generate every network variant for one cell and verify each of them.
+
+    The genuine network is checked for functional correctness only; the
+    fully connected, transformed and enhanced networks must additionally
+    pass the full-connectivity check (and the enhanced network the
+    constant-depth and early-propagation checks).  A failed check raises
+    immediately -- the library generator refuses to emit a broken cell.
+    """
+    function = spec.function()
+    genuine = build_genuine_dpdn(function, name=f"{spec.name}_genuine")
+    fully_connected = synthesize_fc_dpdn(function, name=f"{spec.name}_fc", style=style)
+
+    transformed: Optional[DifferentialPullDownNetwork]
+    try:
+        transformed = transform_to_fc(genuine, name=f"{spec.name}_fc_transformed")
+    except (NotDualError, NotSeriesParallelError):
+        transformed = None
+
+    enhanced = enhance_fc_dpdn(fully_connected, name=f"{spec.name}_enhanced")
+
+    _require(verify_gate(genuine, function, require_fully_connected=False), spec.name)
+    _require(verify_gate(fully_connected, function), spec.name)
+    if transformed is not None:
+        _require(verify_gate(transformed, function), spec.name)
+    _require(
+        verify_gate(
+            enhanced,
+            function,
+            require_constant_depth=True,
+            require_no_early_propagation=True,
+        ),
+        spec.name,
+    )
+    return Cell(
+        spec=spec,
+        function=function,
+        genuine=genuine,
+        fully_connected=fully_connected,
+        transformed=transformed,
+        enhanced=enhanced,
+    )
+
+
+def _require(report, cell_name: str) -> None:
+    if not report.passed:
+        raise RuntimeError(f"cell {cell_name!r} failed verification:\n{report.describe()}")
+
+
+def build_library(
+    specs: Optional[Sequence[CellSpec]] = None,
+    style: DecompositionStyle = DecompositionStyle.LINEAR,
+) -> Dict[str, Cell]:
+    """Build every cell of the catalogue."""
+    specs = specs if specs is not None else STANDARD_CELL_SPECS
+    return {spec.name: build_cell(spec, style=style) for spec in specs}
+
+
+def _depth_range(dpdn: DifferentialPullDownNetwork) -> Tuple[int, int]:
+    depths = [depth for depth in evaluation_depths(dpdn).values() if depth is not None]
+    if not depths:
+        return (0, 0)
+    return (min(depths), max(depths))
+
+
+def library_statistics(cells: Mapping[str, Cell]) -> List[CellStatistics]:
+    """Per-cell statistics table (device counts, depth spread, connectivity)."""
+    rows: List[CellStatistics] = []
+    for name, cell in cells.items():
+        dummy_devices = sum(
+            1 for device in cell.enhanced.transistors if device.role == "dummy"
+        )
+        rows.append(
+            CellStatistics(
+                name=name,
+                inputs=len(cell.function.variables()),
+                genuine_devices=cell.genuine.device_count(),
+                fc_devices=cell.fully_connected.device_count(),
+                enhanced_devices=cell.enhanced.device_count(),
+                dummy_devices=dummy_devices,
+                genuine_internal_nodes=len(cell.genuine.internal_nodes()),
+                fc_internal_nodes=len(cell.fully_connected.internal_nodes()),
+                genuine_fully_connected=is_fully_connected(cell.genuine),
+                fc_fully_connected=is_fully_connected(cell.fully_connected),
+                genuine_depth_range=_depth_range(cell.genuine),
+                fc_depth_range=_depth_range(cell.fully_connected),
+                enhanced_depth_range=_depth_range(cell.enhanced),
+            )
+        )
+    return rows

@@ -1,0 +1,230 @@
+"""Transformation of an existing genuine DPDN into a fully connected one (Section 4.2).
+
+The second design method of the paper starts from a schematic rather than
+from an expression.  Its three steps are:
+
+* **Step 1** -- identify all the networks in series.
+* **Step 2a** -- open the corresponding dual parallel networks.  Each
+  parallel network is opened at the bottom of the component that
+  corresponds with the dual component at the *top* of the series network.
+* **Step 2b** -- connect the opened parallel connections to the internal
+  nodes of the corresponding series connections.
+* **Step 3** -- unroll the network.
+
+The implementation recovers the series/parallel structure of both
+branches with :mod:`repro.network.sptree`, pairs up dual sub-networks by
+checking that their conduction functions are complementary, and then
+performs Steps 2a/2b as terminal *moves* on the transistor netlist
+(:meth:`~repro.network.netlist.DifferentialPullDownNetwork.move_terminal`)
+-- no device is ever added or removed, which is how the paper's
+"the total number of devices remains the same" guarantee is obtained by
+construction.  The recursion into sub-networks realises Step 3.
+
+The worked example of the paper (Fig. 5, the OAI22 network) is reproduced
+by ``benchmarks/bench_fig5_oai22_transform.py`` and by the integration
+tests, which also confirm that the result is functionally identical to
+the genuine network, fully connected, and device-count preserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..boolexpr.ast import Expr
+from ..boolexpr.transforms import complement
+from ..boolexpr.truthtable import equivalent
+from ..network.netlist import DifferentialPullDownNetwork, Transistor
+from ..network.sptree import (
+    NotSeriesParallelError,
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+    branch_trees,
+)
+
+__all__ = ["NotDualError", "TransformationMove", "TransformationResult", "transform_to_fc", "transform_to_fc_with_moves"]
+
+
+class NotDualError(ValueError):
+    """Raised when the two branches of the input network are not structural duals."""
+
+
+@dataclass(frozen=True)
+class TransformationMove:
+    """One repositioned transistor (Step 2a/2b applied to one device)."""
+
+    device: str
+    gate: str
+    from_node: str
+    to_node: str
+    series_function: Expr
+    depth: int
+
+    def describe(self) -> str:
+        return (
+            f"{'  ' * self.depth}move {self.device} (gate {self.gate}) "
+            f"from {self.from_node} to {self.to_node} "
+            f"[opened against series network {self.series_function!r}]"
+        )
+
+
+@dataclass
+class TransformationResult:
+    """Fully connected network plus the list of repositioning moves."""
+
+    dpdn: DifferentialPullDownNetwork
+    moves: List[TransformationMove]
+
+    def describe(self) -> str:
+        lines = [
+            f"Transformation of {self.dpdn.name}: {len(self.moves)} repositioned device(s)"
+        ]
+        lines.extend(move.describe() for move in self.moves)
+        return "\n".join(lines)
+
+
+def transform_to_fc(
+    genuine: DifferentialPullDownNetwork, name: Optional[str] = None
+) -> DifferentialPullDownNetwork:
+    """Apply the Section 4.2 transformation and return the rewired network."""
+    return transform_to_fc_with_moves(genuine, name=name).dpdn
+
+
+def transform_to_fc_with_moves(
+    genuine: DifferentialPullDownNetwork, name: Optional[str] = None
+) -> TransformationResult:
+    """Apply the Section 4.2 transformation, recording every repositioned device.
+
+    The input must be a *genuine* DPDN: two series-parallel branches that
+    meet only at the common node Z and realise complementary functions.
+    :class:`NotDualError` or
+    :class:`~repro.network.sptree.NotSeriesParallelError` is raised
+    otherwise (fully connected networks, for example, share devices
+    between branches and are not valid inputs -- they are outputs).
+    """
+    working = genuine.copy(name=name or f"{genuine.name}_fc")
+    x_tree, y_tree = branch_trees(working)
+    if not equivalent(complement(x_tree.function()), y_tree.function()):
+        raise NotDualError(
+            "the X and Y branches do not realise complementary functions; "
+            "the network is not a valid differential pull-down network"
+        )
+    moves: List[TransformationMove] = []
+    _rewire_pair(working, x_tree, working.z, y_tree, working.z, moves, depth=0)
+    return TransformationResult(dpdn=working, moves=moves)
+
+
+# --------------------------------------------------------------------------- recursion
+
+
+def _rewire_pair(
+    dpdn: DifferentialPullDownNetwork,
+    tree_a: SPNode,
+    bottom_a: str,
+    tree_b: SPNode,
+    bottom_b: str,
+    moves: List[TransformationMove],
+    depth: int,
+) -> None:
+    """Recursively reposition devices so the (tree_a, tree_b) pair becomes fully connected.
+
+    ``bottom_a``/``bottom_b`` are the *current* bottom nodes of the two
+    sub-networks in the evolving netlist (earlier recursion levels may
+    have already moved a sub-network's bottom off the node recorded in
+    the series-parallel tree, which was extracted once up front).
+    """
+    if isinstance(tree_a, SPLeaf) and isinstance(tree_b, SPLeaf):
+        return
+    if isinstance(tree_a, SPLeaf) or isinstance(tree_b, SPLeaf):
+        raise NotDualError(
+            "a single transistor is paired with a compound sub-network; the two "
+            "branches are not structural duals of each other"
+        )
+
+    if isinstance(tree_a, SPSeries) and isinstance(tree_b, SPParallel):
+        series, series_bottom = tree_a, bottom_a
+        parallel, parallel_bottom = tree_b, bottom_b
+    elif isinstance(tree_a, SPParallel) and isinstance(tree_b, SPSeries):
+        series, series_bottom = tree_b, bottom_b
+        parallel, parallel_bottom = tree_a, bottom_a
+    else:
+        raise NotDualError(
+            f"sub-networks {tree_a!r} and {tree_b!r} are both "
+            f"{'series' if isinstance(tree_a, SPSeries) else 'parallel'} compositions; "
+            "dual branches must pair a series network with a parallel network"
+        )
+
+    pairing = _match_children(series, parallel)
+
+    # Step 2a/2b: every parallel component except the one paired with the
+    # *last* series component is opened at the bottom and reconnected to
+    # the internal (joint) node below its dual series component.
+    child_bottoms: List[str] = []
+    for index, parallel_child in enumerate(pairing):
+        if index < len(series.joints):
+            target = series.joints[index]
+            for stale_device in parallel_child.devices():
+                device = dpdn.get_transistor(stale_device.name)
+                if device.touches(parallel_bottom):
+                    dpdn.move_terminal(device.name, parallel_bottom, target)
+                    moves.append(
+                        TransformationMove(
+                            device=device.name,
+                            gate=repr(device.gate),
+                            from_node=parallel_bottom,
+                            to_node=target,
+                            series_function=series.children[index].function(),
+                            depth=depth,
+                        )
+                    )
+            child_bottoms.append(target)
+        else:
+            child_bottoms.append(parallel_bottom)
+
+    # Step 3 ("unroll"): recurse into each dual pair of sub-networks.
+    for index, (series_child, parallel_child) in enumerate(zip(series.children, pairing)):
+        series_child_bottom = (
+            series.joints[index] if index < len(series.joints) else series_bottom
+        )
+        _rewire_pair(
+            dpdn,
+            series_child,
+            series_child_bottom,
+            parallel_child,
+            child_bottoms[index],
+            moves,
+            depth + 1,
+        )
+
+
+def _match_children(series: SPSeries, parallel: SPParallel) -> List[SPNode]:
+    """Pair each series component with the parallel component that is its dual.
+
+    Component ``i`` of the returned list is the parallel child whose
+    conduction function is the complement of ``series.children[i]``'s.
+    Duplicate components (identical sub-functions) are matched greedily;
+    a missing or ambiguous correspondence raises :class:`NotDualError`.
+    """
+    if len(series.children) != len(parallel.children):
+        raise NotDualError(
+            f"series network has {len(series.children)} components but the dual "
+            f"parallel network has {len(parallel.children)}"
+        )
+    remaining = list(parallel.children)
+    pairing: List[SPNode] = []
+    for series_child in series.children:
+        wanted = complement(series_child.function())
+        match_index: Optional[int] = None
+        for index, candidate in enumerate(remaining):
+            if equivalent(candidate.function(), wanted):
+                match_index = index
+                break
+        if match_index is None:
+            raise NotDualError(
+                f"no parallel component is the dual of series component "
+                f"{series_child.function()!r}"
+            )
+        pairing.append(remaining.pop(match_index))
+    return pairing

@@ -1,0 +1,96 @@
+"""Parasitic capacitance extraction for differential pull-down networks.
+
+The constant-power argument of the paper is an argument about
+capacitances: the gate consumes the same energy every cycle exactly when
+the *same total capacitance* is charged from the supply every cycle.
+This module attaches a capacitance to every node of a DPDN from the
+technology card:
+
+* each transistor contributes one junction capacitance to the node on its
+  drain and one to the node on its source (scaled by device width),
+* every node carries a wiring capacitance (internal or output class),
+* the module outputs X and Y additionally see the junctions of the sense
+  amplifier devices that sit on them in the SABL gate (the cross-coupled
+  NMOS, the equalising transistor M1 and, in our gate model, a precharge
+  device), so that the X/Y capacitances are realistic and -- importantly
+  -- *matched*, as the paper requires.
+
+The extraction is deliberately layout-free: the paper's point is that no
+amount of sizing or layout matching can fix a network whose *set of
+discharged nodes* changes with the input, and that is a purely structural
+property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..network.netlist import DifferentialPullDownNetwork
+from .technology import Technology
+
+__all__ = ["CapacitanceExtraction", "extract_capacitances"]
+
+#: Number of sense-amplifier device terminals sitting on each of X and Y in
+#: the generic SABL gate model (cross-coupled NMOS source, M1 terminal,
+#: precharge PMOS drain).
+_SENSE_AMP_JUNCTIONS_PER_OUTPUT = 3
+
+
+@dataclass(frozen=True)
+class CapacitanceExtraction:
+    """Per-node capacitances of one DPDN [farads]."""
+
+    node_capacitance: Mapping[str, float]
+    technology: Technology
+
+    def capacitance(self, node: str) -> float:
+        return self.node_capacitance[node]
+
+    def total(self, nodes: Optional[Mapping[str, bool] | set] = None) -> float:
+        """Total capacitance of ``nodes`` (all nodes when omitted)."""
+        if nodes is None:
+            return sum(self.node_capacitance.values())
+        return sum(self.node_capacitance[node] for node in nodes)
+
+    def describe(self) -> str:
+        lines = ["Node capacitances:"]
+        for node, value in sorted(self.node_capacitance.items()):
+            lines.append(f"  {node:<8}: {value * 1e15:6.2f} fF")
+        lines.append(f"  total   : {self.total() * 1e15:6.2f} fF")
+        return "\n".join(lines)
+
+
+def extract_capacitances(
+    dpdn: DifferentialPullDownNetwork,
+    technology: Technology,
+    include_sense_amplifier: bool = True,
+) -> CapacitanceExtraction:
+    """Extract the node capacitances of ``dpdn`` under ``technology``.
+
+    ``include_sense_amplifier`` adds the SABL sense-amplifier junctions to
+    X and Y; pass ``False`` when analysing the bare network (for example
+    when embedding it in a different logic style).
+    """
+    capacitance: Dict[str, float] = {}
+    external = set(dpdn.external_nodes)
+
+    for node in dpdn.nodes():
+        wire = (
+            technology.c_wire_output if node in external else technology.c_wire_internal
+        )
+        capacitance[node] = wire
+
+    for transistor in dpdn.transistors:
+        junction = technology.c_junction * transistor.width
+        capacitance[transistor.drain] += junction
+        capacitance[transistor.source] += junction
+
+    if include_sense_amplifier:
+        sense = _SENSE_AMP_JUNCTIONS_PER_OUTPUT * technology.c_junction
+        capacitance[dpdn.x] += sense
+        capacitance[dpdn.y] += sense
+        # The common node Z sees the junction of the clocked foot device.
+        capacitance[dpdn.z] += technology.c_junction
+
+    return CapacitanceExtraction(node_capacitance=capacitance, technology=technology)

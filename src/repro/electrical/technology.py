@@ -1,0 +1,141 @@
+"""Technology parameters for the electrical models.
+
+The paper evaluates its networks with HSPICE on an (unnamed) deep
+submicron CMOS process.  No PDK is available to this reproduction, so the
+electrical substrate uses a *generic technology card*: a small set of
+named constants (supply voltage, thresholds, on-resistances, parasitic
+capacitances, clocking) chosen to be representative of a 0.18 um-class
+process.  Absolute numbers therefore differ from the paper's testbed, but
+every comparison made by the benchmarks is *relative* (same-gate,
+input-event-to-input-event), which the card supports by construction.
+
+All values use SI units (volts, ohms, farads, seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+__all__ = ["Technology", "generic_180nm", "generic_130nm", "generic_65nm"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A generic CMOS technology card.
+
+    Attributes:
+        name: identifier of the card.
+        vdd: supply voltage [V].
+        vtn: NMOS threshold voltage [V].
+        vtp: PMOS threshold voltage magnitude [V].
+        r_on_nmos: on-resistance of a unit-width NMOS switch [ohm].
+        r_on_pmos: on-resistance of a unit-width PMOS switch [ohm].
+        c_gate: gate capacitance of a unit-width device [F].
+        c_junction: drain/source junction capacitance per terminal [F].
+        c_wire_internal: wiring capacitance of an internal DPDN node [F].
+        c_wire_output: wiring capacitance of a gate output net [F].
+        c_output_load: default external load on each gate output [F]
+            (the matched interconnect + fan-in capacitance the paper
+            assumes for the differential outputs).
+        clock_period: precharge + evaluation period [s].
+        input_arrival_fraction: point within the precharge phase at which
+            the (complementary) inputs of the next evaluation arrive,
+            expressed as a fraction of the half-period.  Late-arriving
+            inputs let the still-active precharge devices recharge the
+            internal DPDN nodes, which is the charging event of Fig. 3.
+        time_step: integration step of the transient simulator [s].
+    """
+
+    name: str = "generic-180nm"
+    vdd: float = 1.8
+    vtn: float = 0.45
+    vtp: float = 0.45
+    r_on_nmos: float = 6.0e3
+    r_on_pmos: float = 12.0e3
+    c_gate: float = 1.0e-15
+    c_junction: float = 0.9e-15
+    c_wire_internal: float = 0.3e-15
+    c_wire_output: float = 0.8e-15
+    c_output_load: float = 4.0e-15
+    clock_period: float = 4.0e-9
+    input_arrival_fraction: float = 0.6
+    time_step: float = 2.0e-12
+
+    def scaled(self, **overrides: float) -> "Technology":
+        """Copy of the card with some values replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def half_period(self) -> float:
+        """Duration of one phase (precharge or evaluation)."""
+        return self.clock_period / 2.0
+
+    @property
+    def input_arrival_time(self) -> float:
+        """Offset of input arrival within the precharge phase."""
+        return self.input_arrival_fraction * self.half_period
+
+    def switching_energy(self, capacitance: float) -> float:
+        """Energy drawn from the supply to recharge ``capacitance`` to VDD."""
+        return capacitance * self.vdd * self.vdd
+
+    def describe(self) -> str:
+        """Human readable one-per-line dump of the card."""
+        lines = [f"Technology card: {self.name}"]
+        fields: Dict[str, str] = {
+            "vdd": f"{self.vdd:.2f} V",
+            "vtn / vtp": f"{self.vtn:.2f} V / {self.vtp:.2f} V",
+            "r_on (N/P)": f"{self.r_on_nmos / 1e3:.1f} kOhm / {self.r_on_pmos / 1e3:.1f} kOhm",
+            "c_gate": f"{self.c_gate * 1e15:.2f} fF",
+            "c_junction": f"{self.c_junction * 1e15:.2f} fF",
+            "c_wire (int/out)": f"{self.c_wire_internal * 1e15:.2f} fF / {self.c_wire_output * 1e15:.2f} fF",
+            "c_output_load": f"{self.c_output_load * 1e15:.2f} fF",
+            "clock_period": f"{self.clock_period * 1e9:.2f} ns",
+            "time_step": f"{self.time_step * 1e12:.1f} ps",
+        }
+        lines.extend(f"  {key:<18}: {value}" for key, value in fields.items())
+        return "\n".join(lines)
+
+
+def generic_180nm() -> Technology:
+    """The default 0.18 um-class card (closest to the paper's era)."""
+    return Technology()
+
+
+def generic_130nm() -> Technology:
+    """A 0.13 um-class card, used by the scaling ablation."""
+    return Technology(
+        name="generic-130nm",
+        vdd=1.2,
+        vtn=0.35,
+        vtp=0.35,
+        r_on_nmos=5.0e3,
+        r_on_pmos=10.0e3,
+        c_gate=0.7e-15,
+        c_junction=0.6e-15,
+        c_wire_internal=0.25e-15,
+        c_wire_output=0.6e-15,
+        c_output_load=3.0e-15,
+        clock_period=2.5e-9,
+        time_step=1.5e-12,
+    )
+
+
+def generic_65nm() -> Technology:
+    """A 65 nm-class card, used by the scaling ablation."""
+    return Technology(
+        name="generic-65nm",
+        vdd=1.0,
+        vtn=0.3,
+        vtp=0.3,
+        r_on_nmos=4.0e3,
+        r_on_pmos=8.0e3,
+        c_gate=0.45e-15,
+        c_junction=0.4e-15,
+        c_wire_internal=0.2e-15,
+        c_wire_output=0.45e-15,
+        c_output_load=2.0e-15,
+        clock_period=1.5e-9,
+        time_step=1.0e-12,
+    )

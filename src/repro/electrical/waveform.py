@@ -1,0 +1,127 @@
+"""Waveform containers for the transient simulator.
+
+A :class:`Trace` is one named quantity sampled on a shared time base; a
+:class:`WaveformSet` bundles the traces of one simulation (node voltages
+plus the supply current) and provides the integrations the benchmarks
+need (charge and energy per clock cycle, peak currents, comparison of two
+runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Trace", "WaveformSet"]
+
+# numpy 2.0 renamed trapz to trapezoid; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+@dataclass
+class Trace:
+    """One sampled waveform."""
+
+    name: str
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.times.shape != self.values.shape:
+            raise ValueError(
+                f"trace {self.name!r}: time base has {self.times.shape} samples but "
+                f"values have {self.values.shape}"
+            )
+
+    def at(self, time: float) -> float:
+        """Linearly interpolated value at ``time``."""
+        return float(np.interp(time, self.times, self.values))
+
+    def window(self, start: float, stop: float) -> "Trace":
+        """Sub-trace restricted to ``start <= t <= stop``."""
+        mask = (self.times >= start) & (self.times <= stop)
+        return Trace(self.name, self.times[mask], self.values[mask])
+
+    def integral(self, start: Optional[float] = None, stop: Optional[float] = None) -> float:
+        """Trapezoidal integral of the trace over the window [start, stop]."""
+        trace = self
+        if start is not None or stop is not None:
+            trace = self.window(
+                start if start is not None else float(self.times[0]),
+                stop if stop is not None else float(self.times[-1]),
+            )
+        if trace.times.size < 2:
+            return 0.0
+        return float(_trapezoid(trace.values, trace.times))
+
+    def peak(self) -> float:
+        """Maximum absolute value."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.values)))
+
+    def rms_difference(self, other: "Trace") -> float:
+        """Root-mean-square difference against ``other`` on this trace's time base."""
+        resampled = np.interp(self.times, other.times, other.values)
+        if self.values.size == 0:
+            return 0.0
+        return float(np.sqrt(np.mean((self.values - resampled) ** 2)))
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+
+@dataclass
+class WaveformSet:
+    """All traces of one transient simulation."""
+
+    times: np.ndarray
+    traces: Dict[str, Trace] = field(default_factory=dict)
+
+    @classmethod
+    def from_arrays(
+        cls, times: Sequence[float], values: Mapping[str, Sequence[float]]
+    ) -> "WaveformSet":
+        time_array = np.asarray(times, dtype=float)
+        traces = {
+            name: Trace(name, time_array, np.asarray(series, dtype=float))
+            for name, series in values.items()
+        }
+        return cls(times=time_array, traces=traces)
+
+    def __getitem__(self, name: str) -> Trace:
+        return self.traces[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.traces
+
+    def names(self) -> List[str]:
+        return sorted(self.traces)
+
+    def add(self, trace: Trace) -> None:
+        self.traces[trace.name] = trace
+
+    def duration(self) -> float:
+        if self.times.size == 0:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    def supply_charge(
+        self, current_name: str = "i_vdd", start: Optional[float] = None, stop: Optional[float] = None
+    ) -> float:
+        """Charge delivered by the supply over a window [coulomb]."""
+        return self[current_name].integral(start, stop)
+
+    def supply_energy(
+        self,
+        vdd: float,
+        current_name: str = "i_vdd",
+        start: Optional[float] = None,
+        stop: Optional[float] = None,
+    ) -> float:
+        """Energy delivered by the supply over a window [joule]."""
+        return vdd * self.supply_charge(current_name, start, stop)

@@ -1,0 +1,142 @@
+"""Building conventional ("genuine") differential pull-down networks.
+
+The paper contrasts its *fully connected* networks with the networks a
+designer following the classical DCVS design constraints (ref. [16], Chu &
+Pulfrey) would draw: minimise the device count and the number of stacked
+levels.  Those conventional networks are what this module builds -- a
+straightforward series/parallel mapping of a factored Boolean expression:
+
+* an AND operation becomes a *series* connection of the operand networks
+  (introducing internal nodes between them),
+* an OR operation becomes a *parallel* connection of the operand networks
+  (no new internal node),
+* a literal becomes a single NMOS transistor.
+
+The true branch (between ``X`` and ``Z``) implements ``f``; the false
+branch (between ``Y`` and ``Z``) implements the De Morgan complement of
+``f``.  The result is functionally correct but in general *not* fully
+connected -- that is exactly the defect the paper's method repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..boolexpr.ast import And, Const, Expr, Not, Or, Var
+from ..boolexpr.transforms import complement, is_literal, to_nnf
+from .netlist import DifferentialPullDownNetwork, Literal, NodeNameAllocator
+
+__all__ = [
+    "attach_series_parallel",
+    "build_branch",
+    "build_genuine_dpdn",
+    "build_dpdn_from_branches",
+]
+
+
+def attach_series_parallel(
+    dpdn: DifferentialPullDownNetwork,
+    expr: Expr,
+    top: str,
+    bottom: str,
+    allocator: Optional[NodeNameAllocator] = None,
+) -> None:
+    """Attach a series/parallel network implementing ``expr`` between two nodes.
+
+    ``expr`` must be in negation normal form (AND/OR over literals).  The
+    network conducts between ``top`` and ``bottom`` exactly when ``expr``
+    evaluates to 1 under a complementary input assignment.
+    """
+    if allocator is None:
+        allocator = dpdn.node_allocator()
+    _attach(dpdn, to_nnf(expr), top, bottom, allocator)
+
+
+def _attach(
+    dpdn: DifferentialPullDownNetwork,
+    expr: Expr,
+    top: str,
+    bottom: str,
+    allocator: NodeNameAllocator,
+) -> None:
+    if isinstance(expr, Const):
+        raise ValueError(
+            "constant expressions cannot be mapped onto a pull-down network branch"
+        )
+    if is_literal(expr):
+        dpdn.add_transistor(Literal.from_expr(expr), drain=top, source=bottom)
+        return
+    if isinstance(expr, Or):
+        for operand in expr.args:
+            _attach(dpdn, operand, top, bottom, allocator)
+        return
+    if isinstance(expr, And):
+        current_top = top
+        operands = expr.args
+        for index, operand in enumerate(operands):
+            is_last = index == len(operands) - 1
+            current_bottom = bottom if is_last else allocator.fresh()
+            _attach(dpdn, operand, current_top, current_bottom, allocator)
+            current_top = current_bottom
+        return
+    raise ValueError(
+        f"expression {expr!r} is not in AND/OR/literal form; call to_nnf() first"
+    )
+
+
+def build_branch(
+    expr: Expr,
+    name: str = "branch",
+    top: str = "TOP",
+    bottom: str = "BOT",
+) -> DifferentialPullDownNetwork:
+    """Build a single series/parallel branch as a stand-alone network.
+
+    Used mostly by tests and by the series-parallel tree extractor; the
+    ``Y`` terminal of the returned network is unused.
+    """
+    dpdn = DifferentialPullDownNetwork(name=name, function=expr, x=top, y="__unused__", z=bottom)
+    attach_series_parallel(dpdn, expr, top, bottom)
+    return dpdn
+
+
+def build_genuine_dpdn(
+    function: Expr,
+    name: Optional[str] = None,
+    false_function: Optional[Expr] = None,
+) -> DifferentialPullDownNetwork:
+    """Build the conventional (minimal, not fully connected) DPDN for ``function``.
+
+    The true branch between ``X`` and ``Z`` is the series/parallel mapping
+    of ``function``; the false branch between ``Y`` and ``Z`` is the
+    mapping of its De Morgan complement (or of ``false_function`` when the
+    designer wants a specific factored form for it).
+
+    This is the "genuine DPDN" of Fig. 2 (left): functionally correct, but
+    with internal nodes that float for some input combinations.
+    """
+    nnf = to_nnf(function)
+    fbar = complement(nnf) if false_function is None else to_nnf(false_function)
+    dpdn = DifferentialPullDownNetwork(name=name or "genuine", function=nnf)
+    allocator = dpdn.node_allocator()
+    attach_series_parallel(dpdn, nnf, dpdn.x, dpdn.z, allocator)
+    attach_series_parallel(dpdn, fbar, dpdn.y, dpdn.z, allocator)
+    return dpdn
+
+
+def build_dpdn_from_branches(
+    true_branch: Expr,
+    false_branch: Expr,
+    name: str = "dpdn",
+) -> DifferentialPullDownNetwork:
+    """Build a DPDN from explicit factored forms of both branches.
+
+    The caller is responsible for the two expressions being complementary;
+    :func:`repro.core.verify.check_differential_function` flags the
+    mismatch otherwise.
+    """
+    dpdn = DifferentialPullDownNetwork(name=name, function=to_nnf(true_branch))
+    allocator = dpdn.node_allocator()
+    attach_series_parallel(dpdn, to_nnf(true_branch), dpdn.x, dpdn.z, allocator)
+    attach_series_parallel(dpdn, to_nnf(false_branch), dpdn.y, dpdn.z, allocator)
+    return dpdn

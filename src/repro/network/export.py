@@ -1,0 +1,98 @@
+"""Netlist export: SPICE decks and Graphviz DOT.
+
+The exporters make the generated networks usable outside this library --
+a designer can drop the SPICE subcircuit of a fully connected DPDN into
+an analog testbench, or render the DOT graph to inspect the rewiring the
+Section 4.2 transformation performed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .netlist import DifferentialPullDownNetwork, Transistor
+
+__all__ = ["to_spice_subckt", "to_dot", "to_edge_list"]
+
+
+def to_spice_subckt(
+    dpdn: DifferentialPullDownNetwork,
+    name: Optional[str] = None,
+    model: str = "nmos",
+    width_um: float = 0.5,
+    length_um: float = 0.18,
+) -> str:
+    """Render the DPDN as a SPICE ``.subckt``.
+
+    The subcircuit ports are the module outputs X and Y, the common node
+    Z, and both rails of every input signal.  Device sizes default to a
+    generic 0.18 um geometry; the relative width stored on each
+    :class:`~repro.network.netlist.Transistor` scales the drawn width.
+    """
+    subckt_name = name or dpdn.name
+    rails: List[str] = []
+    for variable in dpdn.variables():
+        rails.append(variable)
+        rails.append(f"{variable}_b")
+    ports = [dpdn.x, dpdn.y, dpdn.z] + rails
+
+    lines = [
+        f"* Differential pull-down network: {dpdn.name}",
+        f"* function: {dpdn.function!r}" if dpdn.function is not None else "* function: (unspecified)",
+        f".subckt {subckt_name} {' '.join(ports)}",
+    ]
+    for transistor in dpdn.transistors:
+        gate_rail = transistor.gate.rail_name
+        width = width_um * transistor.width
+        lines.append(
+            f"M{transistor.name} {transistor.drain} {gate_rail} {transistor.source} 0 "
+            f"{model} W={width:.3f}u L={length_um:.3f}u"
+        )
+    lines.append(f".ends {subckt_name}")
+    return "\n".join(lines) + "\n"
+
+
+def to_dot(
+    dpdn: DifferentialPullDownNetwork,
+    highlight_nodes: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the DPDN as a Graphviz DOT graph.
+
+    Nodes are diffusion nodes; every transistor becomes an edge labelled
+    with its gate literal.  External nodes are drawn as boxes, optional
+    ``highlight_nodes`` (e.g. floating nodes found by the verifier) are
+    filled.
+    """
+    highlight = set(highlight_nodes or ())
+    lines = [f'graph "{title or dpdn.name}" {{', "  node [shape=circle];"]
+    for node in dpdn.nodes():
+        attributes = []
+        if node in dpdn.external_nodes:
+            attributes.append("shape=box")
+        if node in highlight:
+            attributes.append('style=filled fillcolor="lightcoral"')
+        attribute_text = f" [{' '.join(attributes)}]" if attributes else ""
+        lines.append(f'  "{node}"{attribute_text};')
+    for transistor in dpdn.transistors:
+        lines.append(
+            f'  "{transistor.drain}" -- "{transistor.source}" '
+            f'[label="{transistor.gate!r} ({transistor.name})"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_edge_list(dpdn: DifferentialPullDownNetwork) -> List[Dict[str, str]]:
+    """Plain-data view of the network (for JSON dumps and notebooks)."""
+    return [
+        {
+            "name": transistor.name,
+            "gate": transistor.gate.rail_name,
+            "variable": transistor.gate.variable,
+            "polarity": "true" if transistor.gate.positive else "false",
+            "drain": transistor.drain,
+            "source": transistor.source,
+        }
+        for transistor in dpdn.transistors
+    ]

@@ -1,0 +1,405 @@
+"""Switch-level netlist model of differential pull-down networks.
+
+A *differential pull-down network* (DPDN) is the transistor network at the
+heart of a dynamic differential gate such as SABL (Fig. 1 of the paper).
+It has three external nodes:
+
+* ``X`` -- the "true" branch output (connects to ``Z`` when the gate
+  function ``f`` evaluates to 1),
+* ``Y`` -- the "false" branch output (connects to ``Z`` when ``f`` is 0),
+* ``Z`` -- the common node, tied to ground through the clocked foot
+  transistor during the evaluation phase,
+
+plus any number of internal nodes.  Every device is an NMOS transistor
+whose gate is driven by an input *literal* (an input signal or its
+complement -- the inputs of a differential gate are available in both
+polarities).
+
+The classes here are a deliberately small switch-level abstraction:
+transistors are ideal switches for topology analysis
+(:mod:`repro.network.analysis`) and switched resistors with parasitic
+capacitances for the electrical models (:mod:`repro.electrical`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..boolexpr.ast import Expr, Not, Var
+
+__all__ = ["Literal", "Transistor", "DifferentialPullDownNetwork", "NodeNameAllocator"]
+
+
+@dataclass(frozen=True, order=True)
+class Literal:
+    """An input signal in one of its two polarities.
+
+    ``Literal("A", True)`` is the true rail of input A, ``Literal("A",
+    False)`` is the complemented rail (printed ``A_b`` in netlists, ``~A``
+    in reprs).
+    """
+
+    variable: str
+    positive: bool = True
+
+    def complement(self) -> "Literal":
+        """The same input signal on the opposite rail."""
+        return Literal(self.variable, not self.positive)
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Value of the rail under a complementary input ``assignment``.
+
+        ``assignment`` maps the *variable* to its logical value; the false
+        rail is simply the complement of that value.
+        """
+        value = bool(assignment[self.variable])
+        return value if self.positive else not value
+
+    def to_expr(self) -> Expr:
+        """The literal as a Boolean expression."""
+        var = Var(self.variable)
+        return var if self.positive else Not(var)
+
+    @classmethod
+    def from_expr(cls, expr: Expr) -> "Literal":
+        """Build a literal from a :class:`Var` or ``Not(Var)`` expression."""
+        if isinstance(expr, Var):
+            return cls(expr.name, True)
+        if isinstance(expr, Not) and isinstance(expr.operand, Var):
+            return cls(expr.operand.name, False)
+        raise ValueError(f"{expr!r} is not a literal expression")
+
+    @property
+    def rail_name(self) -> str:
+        """Net name of the rail driving this literal's gate."""
+        return self.variable if self.positive else f"{self.variable}_b"
+
+    def __repr__(self) -> str:
+        return self.variable if self.positive else f"~{self.variable}"
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """An NMOS switch between two diffusion nodes, gated by a literal.
+
+    The two diffusion terminals ``drain`` and ``source`` are
+    interchangeable for the topology analysis (an NMOS pass device
+    conducts symmetrically at the switch level); the names follow the
+    usual schematic convention of drawing the drain towards the output
+    node.
+    """
+
+    name: str
+    gate: Literal
+    drain: str
+    source: str
+    width: float = 1.0
+    #: "logic" for functional devices, "dummy" for the pass-gate devices
+    #: inserted by the Section 5 enhancement.
+    role: str = "logic"
+
+    def conducts(self, assignment: Mapping[str, bool]) -> bool:
+        """True when the gate literal is 1 under ``assignment``."""
+        return self.gate.evaluate(assignment)
+
+    def terminals(self) -> Tuple[str, str]:
+        """The two diffusion terminals."""
+        return (self.drain, self.source)
+
+    def other_terminal(self, node: str) -> str:
+        """The diffusion terminal that is not ``node``."""
+        if node == self.drain:
+            return self.source
+        if node == self.source:
+            return self.drain
+        raise ValueError(f"{node!r} is not a terminal of {self.name}")
+
+    def touches(self, node: str) -> bool:
+        """True when ``node`` is one of the diffusion terminals."""
+        return node == self.drain or node == self.source
+
+    def with_terminals(self, drain: str, source: str) -> "Transistor":
+        """Copy of this transistor with new diffusion terminals."""
+        return Transistor(self.name, self.gate, drain, source, self.width, self.role)
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.gate!r}] {self.drain}-{self.source}"
+
+
+class NodeNameAllocator:
+    """Generates fresh internal node names (``n1``, ``n2``, ...)."""
+
+    def __init__(self, existing: Iterable[str] = (), prefix: str = "n") -> None:
+        self.prefix = prefix
+        self._counter = 0
+        self._existing: Set[str] = set(existing)
+
+    def reserve(self, name: str) -> None:
+        """Mark ``name`` as taken."""
+        self._existing.add(name)
+
+    def fresh(self) -> str:
+        """Return a node name not used so far."""
+        while True:
+            self._counter += 1
+            candidate = f"{self.prefix}{self._counter}"
+            if candidate not in self._existing:
+                self._existing.add(candidate)
+                return candidate
+
+
+class DifferentialPullDownNetwork:
+    """A differential pull-down network: devices plus the X/Y/Z terminals.
+
+    The network is a mutable container (the Section 4.2 transformation and
+    the Section 5 enhancement rewire devices in place); use :meth:`copy`
+    to keep the original.
+
+    Attributes:
+        name: human-readable name (e.g. ``"AND2"``).
+        function: optional Boolean expression the X branch is meant to
+            implement (``X`` connects to ``Z`` exactly when it is true).
+        x, y, z: names of the external nodes.
+    """
+
+    X_DEFAULT = "X"
+    Y_DEFAULT = "Y"
+    Z_DEFAULT = "Z"
+
+    def __init__(
+        self,
+        name: str = "dpdn",
+        function: Optional[Expr] = None,
+        x: str = X_DEFAULT,
+        y: str = Y_DEFAULT,
+        z: str = Z_DEFAULT,
+    ) -> None:
+        if len({x, y, z}) != 3:
+            raise ValueError("external nodes X, Y, Z must be three distinct names")
+        self.name = name
+        self.function = function
+        self.x = x
+        self.y = y
+        self.z = z
+        self._transistors: List[Transistor] = []
+        self._device_counter = 0
+
+    # ------------------------------------------------------------------ basics
+
+    @property
+    def transistors(self) -> Tuple[Transistor, ...]:
+        """All devices, in insertion order."""
+        return tuple(self._transistors)
+
+    @property
+    def external_nodes(self) -> Tuple[str, str, str]:
+        """The three external nodes ``(X, Y, Z)``."""
+        return (self.x, self.y, self.z)
+
+    def device_count(self) -> int:
+        """Number of transistors in the network."""
+        return len(self._transistors)
+
+    def nodes(self) -> List[str]:
+        """All node names: the external nodes plus every diffusion node."""
+        seen: Dict[str, None] = {self.x: None, self.y: None, self.z: None}
+        for transistor in self._transistors:
+            seen.setdefault(transistor.drain, None)
+            seen.setdefault(transistor.source, None)
+        return list(seen.keys())
+
+    def internal_nodes(self) -> List[str]:
+        """Diffusion nodes that are not X, Y or Z."""
+        external = {self.x, self.y, self.z}
+        return [node for node in self.nodes() if node not in external]
+
+    def variables(self) -> List[str]:
+        """Sorted list of input variable names used by the gates."""
+        return sorted({transistor.gate.variable for transistor in self._transistors})
+
+    def transistors_at(self, node: str) -> List[Transistor]:
+        """Devices with a diffusion terminal on ``node``."""
+        return [transistor for transistor in self._transistors if transistor.touches(node)]
+
+    def get_transistor(self, name: str) -> Transistor:
+        """Device lookup by name."""
+        for transistor in self._transistors:
+            if transistor.name == name:
+                return transistor
+        raise KeyError(f"no transistor named {name!r}")
+
+    # ------------------------------------------------------------ construction
+
+    def fresh_device_name(self) -> str:
+        """Generate an unused device name (``M1``, ``M2``, ...)."""
+        existing = {transistor.name for transistor in self._transistors}
+        while True:
+            self._device_counter += 1
+            candidate = f"M{self._device_counter}"
+            if candidate not in existing:
+                return candidate
+
+    def node_allocator(self, prefix: str = "n") -> NodeNameAllocator:
+        """A name allocator seeded with this network's node names."""
+        return NodeNameAllocator(self.nodes(), prefix=prefix)
+
+    def add_transistor(
+        self,
+        gate: Literal,
+        drain: str,
+        source: str,
+        name: Optional[str] = None,
+        width: float = 1.0,
+        role: str = "logic",
+    ) -> Transistor:
+        """Add a device and return it.
+
+        A fresh name is generated when ``name`` is not given.
+        """
+        if drain == source:
+            raise ValueError(
+                f"transistor terminals must differ, got {drain!r} on both sides"
+            )
+        if name is None:
+            name = self.fresh_device_name()
+        elif any(transistor.name == name for transistor in self._transistors):
+            raise ValueError(f"duplicate transistor name {name!r}")
+        transistor = Transistor(
+            name=name, gate=gate, drain=drain, source=source, width=width, role=role
+        )
+        self._transistors.append(transistor)
+        return transistor
+
+    def remove_transistor(self, name: str) -> Transistor:
+        """Remove and return the device called ``name``."""
+        for index, transistor in enumerate(self._transistors):
+            if transistor.name == name:
+                return self._transistors.pop(index)
+        raise KeyError(f"no transistor named {name!r}")
+
+    def replace_transistor(self, name: str, replacement: Transistor) -> None:
+        """Swap the device called ``name`` for ``replacement`` in place."""
+        for index, transistor in enumerate(self._transistors):
+            if transistor.name == name:
+                self._transistors[index] = replacement
+                return
+        raise KeyError(f"no transistor named {name!r}")
+
+    def move_terminal(self, name: str, old_node: str, new_node: str) -> Transistor:
+        """Reconnect one diffusion terminal of a device to a different node.
+
+        This is the primitive operation of the Section 4.2 transformation
+        ("repositioning transistors"): the device keeps its gate signal
+        and its other terminal, only the ``old_node`` terminal moves to
+        ``new_node``.  Returns the updated device.
+        """
+        transistor = self.get_transistor(name)
+        if transistor.drain == old_node:
+            updated = transistor.with_terminals(new_node, transistor.source)
+        elif transistor.source == old_node:
+            updated = transistor.with_terminals(transistor.drain, new_node)
+        else:
+            raise ValueError(f"{old_node!r} is not a terminal of {name}")
+        if updated.drain == updated.source:
+            raise ValueError(
+                f"moving {name} terminal {old_node!r} -> {new_node!r} would short the device"
+            )
+        self.replace_transistor(name, updated)
+        return updated
+
+    # ----------------------------------------------------------------- copying
+
+    def copy(self, name: Optional[str] = None) -> "DifferentialPullDownNetwork":
+        """Deep copy of the network (devices are immutable and shared)."""
+        duplicate = DifferentialPullDownNetwork(
+            name=name or self.name,
+            function=self.function,
+            x=self.x,
+            y=self.y,
+            z=self.z,
+        )
+        duplicate._transistors = list(self._transistors)
+        duplicate._device_counter = self._device_counter
+        return duplicate
+
+    def renamed_nodes(self, mapping: Mapping[str, str]) -> "DifferentialPullDownNetwork":
+        """Copy of the network with nodes renamed according to ``mapping``.
+
+        Nodes not present in the mapping keep their names.  External node
+        names are translated as well, so this can be used to embed a DPDN
+        into a larger circuit netlist.
+        """
+        def rename(node: str) -> str:
+            return mapping.get(node, node)
+
+        duplicate = DifferentialPullDownNetwork(
+            name=self.name,
+            function=self.function,
+            x=rename(self.x),
+            y=rename(self.y),
+            z=rename(self.z),
+        )
+        for transistor in self._transistors:
+            duplicate.add_transistor(
+                gate=transistor.gate,
+                drain=rename(transistor.drain),
+                source=rename(transistor.source),
+                name=transistor.name,
+                width=transistor.width,
+                role=transistor.role,
+            )
+        return duplicate
+
+    # ------------------------------------------------------------- conduction
+
+    def conducting_transistors(self, assignment: Mapping[str, bool]) -> List[Transistor]:
+        """Devices whose gate literal is 1 under the complementary input."""
+        return [t for t in self._transistors if t.conducts(assignment)]
+
+    def adjacency(
+        self, assignment: Optional[Mapping[str, bool]] = None
+    ) -> Dict[str, List[Tuple[str, Transistor]]]:
+        """Node adjacency map.
+
+        With ``assignment`` given, only conducting devices contribute
+        edges; without it, the full structural adjacency is returned.
+        """
+        adjacency: Dict[str, List[Tuple[str, Transistor]]] = {node: [] for node in self.nodes()}
+        for transistor in self._transistors:
+            if assignment is not None and not transistor.conducts(assignment):
+                continue
+            adjacency[transistor.drain].append((transistor.source, transistor))
+            adjacency[transistor.source].append((transistor.drain, transistor))
+        return adjacency
+
+    # ------------------------------------------------------------------ dunder
+
+    def __iter__(self) -> Iterator[Transistor]:
+        return iter(self._transistors)
+
+    def __len__(self) -> int:
+        return len(self._transistors)
+
+    def __repr__(self) -> str:
+        return (
+            f"DifferentialPullDownNetwork({self.name!r}, devices={self.device_count()}, "
+            f"internal_nodes={len(self.internal_nodes())})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable description of the network."""
+        lines = [
+            f"DPDN {self.name}",
+            f"  function : {self.function!r}" if self.function is not None else "  function : (unspecified)",
+            f"  externals: X={self.x} Y={self.y} Z={self.z}",
+            f"  internal : {', '.join(self.internal_nodes()) or '(none)'}",
+            f"  devices  : {self.device_count()}",
+        ]
+        for transistor in self._transistors:
+            lines.append(
+                f"    {transistor.name:<6} gate={transistor.gate.rail_name:<8} "
+                f"{transistor.drain} -- {transistor.source}"
+            )
+        return "\n".join(lines)

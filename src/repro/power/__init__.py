@@ -1,0 +1,61 @@
+"""Power-analysis substrate: crypto workloads, trace acquisition,
+variation metrics and the DPA/CPA attacks used to demonstrate the
+protection that fully connected networks provide."""
+
+from .crypto import (
+    AES_SBOX,
+    PRESENT_SBOX,
+    bits_of,
+    from_bits,
+    hamming_weight,
+    keyed_sbox_expressions,
+    present_sbox_lookup,
+    sbox_output_expressions,
+)
+from .dpa import (
+    AttackResult,
+    cpa_correlation,
+    dpa_difference_of_means,
+    key_rank,
+    measurements_to_disclosure,
+    profiled_cpa,
+)
+from .metrics import (
+    EnergyStatistics,
+    energy_statistics,
+    normalized_energy_deviation,
+    normalized_std_deviation,
+)
+from .trace import (
+    TraceSet,
+    acquire_circuit_traces,
+    acquire_model_traces,
+    build_sbox_circuit,
+    simulated_energy_predictor,
+)
+
+__all__ = [
+    "PRESENT_SBOX",
+    "AES_SBOX",
+    "hamming_weight",
+    "bits_of",
+    "from_bits",
+    "present_sbox_lookup",
+    "sbox_output_expressions",
+    "keyed_sbox_expressions",
+    "EnergyStatistics",
+    "energy_statistics",
+    "normalized_energy_deviation",
+    "normalized_std_deviation",
+    "TraceSet",
+    "build_sbox_circuit",
+    "acquire_circuit_traces",
+    "acquire_model_traces",
+    "AttackResult",
+    "dpa_difference_of_means",
+    "cpa_correlation",
+    "profiled_cpa",
+    "key_rank",
+    "measurements_to_disclosure",
+    "simulated_energy_predictor",
+]

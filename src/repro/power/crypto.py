@@ -1,0 +1,147 @@
+"""Cryptographic workloads for the power-analysis experiments.
+
+The paper motivates constant-power logic with differential power analysis
+of smart-card crypto.  To close that loop the benchmarks attack a small
+but representative hardware target: a key-mixed 4x4 S-box (the PRESENT
+S-box), i.e. the circuit computes ``S(p XOR k)`` for a secret nibble
+``k``.  The 8x8 AES S-box is also provided as a lookup table for the
+model-level (Hamming weight) experiments.
+
+Everything here is plain data plus expression generation: the S-box
+output bits are converted to Boolean expressions over the plaintext bits
+(with the key folded in as rail swaps, which is how a differential
+implementation realises a fixed key XOR at zero cost) and then mapped to
+gate-level circuits by :mod:`repro.sabl.circuit`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..boolexpr.ast import Expr, Not, Var
+from ..boolexpr.transforms import sum_of_products
+from ..boolexpr.simplify import simplify
+
+__all__ = [
+    "PRESENT_SBOX",
+    "AES_SBOX",
+    "hamming_weight",
+    "bits_of",
+    "from_bits",
+    "sbox_output_expressions",
+    "keyed_sbox_expressions",
+    "present_sbox_lookup",
+]
+
+#: The PRESENT block cipher 4x4 S-box (Bogdanov et al., CHES 2007).
+PRESENT_SBOX: Tuple[int, ...] = (
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+)
+
+#: The AES S-box (FIPS-197), used by the Hamming-weight leakage model
+#: experiments.
+AES_SBOX: Tuple[int, ...] = (
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B, 0xFE, 0xD7, 0xAB, 0x76,
+    0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0, 0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0,
+    0xB7, 0xFD, 0x93, 0x26, 0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2, 0xEB, 0x27, 0xB2, 0x75,
+    0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0, 0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84,
+    0x53, 0xD1, 0x00, 0xED, 0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F, 0x50, 0x3C, 0x9F, 0xA8,
+    0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5, 0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2,
+    0xCD, 0x0C, 0x13, 0xEC, 0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14, 0xDE, 0x5E, 0x0B, 0xDB,
+    0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C, 0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79,
+    0xE7, 0xC8, 0x37, 0x6D, 0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F, 0x4B, 0xBD, 0x8B, 0x8A,
+    0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E, 0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E,
+    0xE1, 0xF8, 0x98, 0x11, 0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F, 0xB0, 0x54, 0xBB, 0x16,
+)
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits of ``value``."""
+    return bin(value).count("1")
+
+
+def bits_of(value: int, width: int) -> List[bool]:
+    """Little-endian bit list of ``value`` (bit 0 first)."""
+    return [bool((value >> position) & 1) for position in range(width)]
+
+
+def from_bits(bits: Sequence[bool]) -> int:
+    """Integer from a little-endian bit list."""
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            value |= 1 << position
+    return value
+
+
+def present_sbox_lookup(value: int) -> int:
+    """PRESENT S-box lookup with range checking."""
+    if not 0 <= value <= 0xF:
+        raise ValueError(f"PRESENT S-box input must be a nibble, got {value}")
+    return PRESENT_SBOX[value]
+
+
+def sbox_output_expressions(
+    sbox: Sequence[int],
+    input_bits: int,
+    output_bits: int,
+    variable_prefix: str = "p",
+) -> Dict[str, Expr]:
+    """Boolean expressions of each S-box output bit over the input bits.
+
+    The result maps output names (``y0``, ``y1``, ...) to sum-of-products
+    expressions over variables ``<prefix>0`` ... ``<prefix><n-1>`` (bit 0
+    is the least significant bit of the S-box index).
+    """
+    if len(sbox) != (1 << input_bits):
+        raise ValueError(
+            f"S-box with {input_bits}-bit input needs {1 << input_bits} entries, "
+            f"got {len(sbox)}"
+        )
+    variables = [f"{variable_prefix}{index}" for index in range(input_bits)]
+    expressions: Dict[str, Expr] = {}
+    for bit in range(output_bits):
+        def bit_function(assignment: Mapping[str, bool], bit: int = bit) -> bool:
+            index = from_bits([assignment[name] for name in variables])
+            return bool((sbox[index] >> bit) & 1)
+
+        # Build the canonical SOP by sweeping the truth table directly.
+        from ..boolexpr.truthtable import assignments
+        from ..boolexpr.ast import And, Or, FALSE
+
+        products: List[Expr] = []
+        for assignment in assignments(variables):
+            if bit_function(assignment):
+                literals = [
+                    Var(name) if assignment[name] else Not(Var(name)) for name in variables
+                ]
+                products.append(And(*literals) if len(literals) > 1 else literals[0])
+        expressions[f"y{bit}"] = Or(*products) if len(products) > 1 else (
+            products[0] if products else FALSE
+        )
+    return expressions
+
+
+def keyed_sbox_expressions(
+    key: int,
+    sbox: Sequence[int] = PRESENT_SBOX,
+    input_bits: int = 4,
+    output_bits: int = 4,
+    variable_prefix: str = "p",
+) -> Dict[str, Expr]:
+    """Expressions of ``S(p XOR key)`` over the plaintext bits.
+
+    The key XOR is folded into the S-box table (a fixed permutation of
+    the inputs), which is exactly how a fixed round key disappears into
+    the rails of a differential implementation.
+    """
+    if not 0 <= key < (1 << input_bits):
+        raise ValueError(f"key must fit in {input_bits} bits, got {key}")
+    folded = [sbox[index ^ key] for index in range(1 << input_bits)]
+    return sbox_output_expressions(folded, input_bits, output_bits, variable_prefix)

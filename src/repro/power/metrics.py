@@ -1,0 +1,80 @@
+"""Power-variation metrics.
+
+The side-channel hardware literature summarises how data dependent a
+gate's (or circuit's) energy is with two standard figures of merit, both
+of which the benchmarks report next to the paper's qualitative claims:
+
+* **NED** (normalised energy deviation): ``(E_max - E_min) / E_max`` --
+  the paper's "variation on the power consumption can be as large as
+  50 %" statement is an NED of 0.5;
+* **NSD** (normalised standard deviation): ``sigma(E) / mean(E)``.
+
+Both are 0 for a perfectly constant-power gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["EnergyStatistics", "energy_statistics", "normalized_energy_deviation", "normalized_std_deviation"]
+
+
+@dataclass(frozen=True)
+class EnergyStatistics:
+    """Summary statistics of a set of per-event (or per-cycle) energies."""
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    @property
+    def ned(self) -> float:
+        """Normalised energy deviation (max - min) / max."""
+        if self.maximum == 0.0:
+            return 0.0
+        return (self.maximum - self.minimum) / self.maximum
+
+    @property
+    def nsd(self) -> float:
+        """Normalised standard deviation std / mean."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / self.mean
+
+    def describe(self, scale: float = 1e15, unit: str = "fJ") -> str:
+        return (
+            f"n={self.count}  min={self.minimum * scale:.3f} {unit}  "
+            f"max={self.maximum * scale:.3f} {unit}  mean={self.mean * scale:.3f} {unit}  "
+            f"NED={self.ned * 100:.2f}%  NSD={self.nsd * 100:.2f}%"
+        )
+
+
+def energy_statistics(energies: Iterable[float]) -> EnergyStatistics:
+    """Compute :class:`EnergyStatistics` over a collection of energies."""
+    values = [float(value) for value in energies]
+    if not values:
+        raise ValueError("cannot compute statistics of an empty energy collection")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return EnergyStatistics(
+        count=count,
+        minimum=min(values),
+        maximum=max(values),
+        mean=mean,
+        std=math.sqrt(variance),
+    )
+
+
+def normalized_energy_deviation(energies: Iterable[float]) -> float:
+    """NED of a collection of energies."""
+    return energy_statistics(energies).ned
+
+
+def normalized_std_deviation(energies: Iterable[float]) -> float:
+    """NSD of a collection of energies."""
+    return energy_statistics(energies).nsd

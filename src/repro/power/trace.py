@@ -1,0 +1,178 @@
+"""Power-trace acquisition for the side-channel experiments.
+
+A *trace campaign* plays random plaintext nibbles into a key-mixed S-box
+circuit, records the per-cycle supply energy (plus optional Gaussian
+measurement noise) and keeps the plaintexts so the analysis side of
+:mod:`repro.power.dpa` can correlate hypotheses against the
+measurements.  Two acquisition back-ends exist:
+
+* :func:`acquire_circuit_traces` -- the gate-level charge model, used for
+  the protected-vs-unprotected comparisons (this is where the fully
+  connected networks earn their keep);
+* :func:`acquire_model_traces` -- a plain Hamming-weight leakage model of
+  ``S(p XOR k)``, used as a sanity check of the attack code itself and as
+  the "unprotected CMOS" upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..sabl.circuit import DifferentialCircuit, map_expressions
+from ..sabl.simulator import CircuitPowerSimulator
+from ..electrical.technology import Technology, generic_180nm
+from .crypto import PRESENT_SBOX, bits_of, hamming_weight, keyed_sbox_expressions
+
+__all__ = ["TraceSet", "build_sbox_circuit", "acquire_circuit_traces", "acquire_model_traces"]
+
+
+@dataclass
+class TraceSet:
+    """A set of single-sample power traces with their plaintexts."""
+
+    plaintexts: np.ndarray
+    traces: np.ndarray
+    key: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.plaintexts = np.asarray(self.plaintexts, dtype=np.int64)
+        self.traces = np.asarray(self.traces, dtype=float)
+        if self.plaintexts.shape[0] != self.traces.shape[0]:
+            raise ValueError("plaintext and trace counts differ")
+
+    def __len__(self) -> int:
+        return int(self.traces.shape[0])
+
+    def subset(self, count: int) -> "TraceSet":
+        """First ``count`` traces (for measurements-to-disclosure sweeps)."""
+        return TraceSet(
+            plaintexts=self.plaintexts[:count],
+            traces=self.traces[:count],
+            key=self.key,
+            description=self.description,
+        )
+
+
+def build_sbox_circuit(
+    key: int,
+    network_style: str = "fc",
+    max_fanin: int = 2,
+    sbox: Sequence[int] = PRESENT_SBOX,
+    name: Optional[str] = None,
+) -> DifferentialCircuit:
+    """Gate-level circuit computing ``S(p XOR key)`` for a 4-bit S-box."""
+    expressions = keyed_sbox_expressions(key, sbox=sbox)
+    return map_expressions(
+        expressions,
+        primary_inputs=[f"p{i}" for i in range(4)],
+        max_fanin=max_fanin,
+        network_style=network_style,
+        name=name or f"sbox_{network_style}",
+    )
+
+
+def acquire_circuit_traces(
+    circuit: DifferentialCircuit,
+    key: int,
+    trace_count: int,
+    technology: Optional[Technology] = None,
+    gate_style: str = "sabl",
+    noise_std: float = 0.0,
+    seed: int = 2005,
+    warmup_cycles: int = 4,
+) -> TraceSet:
+    """Record one power sample per cycle from the gate-level charge model.
+
+    ``noise_std`` is expressed as a fraction of the mean cycle energy
+    (e.g. 0.05 adds Gaussian noise with a sigma of 5 % of the mean),
+    modelling measurement noise and the activity of unrelated logic.
+    ``warmup_cycles`` random cycles are simulated before recording so the
+    internal charge states start from a realistic steady state rather
+    than the artificial all-charged reset state.
+    """
+    rng = np.random.default_rng(seed)
+    plaintexts = rng.integers(0, 16, size=trace_count)
+    simulator = CircuitPowerSimulator(circuit, technology=technology, gate_style=gate_style)
+    for plaintext in rng.integers(0, 16, size=warmup_cycles):
+        simulator.step({f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))})
+    energies = np.empty(trace_count, dtype=float)
+    for index, plaintext in enumerate(plaintexts):
+        vector = {f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))}
+        energies[index] = simulator.step(vector).total_energy
+    if noise_std > 0.0:
+        sigma = noise_std * float(np.mean(energies))
+        energies = energies + rng.normal(0.0, sigma, size=trace_count)
+    return TraceSet(
+        plaintexts=plaintexts,
+        traces=energies,
+        key=key,
+        description=f"{circuit.name} ({gate_style}, noise={noise_std})",
+    )
+
+
+def simulated_energy_predictor(
+    network_style: str = "genuine",
+    max_fanin: int = 2,
+    sbox: Sequence[int] = PRESENT_SBOX,
+    technology: Optional[Technology] = None,
+    gate_style: str = "sabl",
+    warmup_cycles: int = 4,
+):
+    """Build a per-key-guess energy predictor for profiled (template) CPA.
+
+    The returned callable ``predict(plaintexts, guess)`` simulates a clone
+    of the target implementation keyed with ``guess`` on the given
+    plaintext sequence and returns its per-cycle energies.  Attacking with
+    this predictor models the strongest reasonable adversary: one that
+    owns an identical device (or a perfect simulator of it) and can
+    profile it for every key guess.
+    """
+    def predict(plaintexts: np.ndarray, guess: int) -> np.ndarray:
+        circuit = build_sbox_circuit(
+            guess, network_style=network_style, max_fanin=max_fanin, sbox=sbox,
+            name=f"predictor_{network_style}_{guess:x}",
+        )
+        simulator = CircuitPowerSimulator(circuit, technology=technology, gate_style=gate_style)
+        for index in range(warmup_cycles):
+            simulator.step({f"p{i}": bit for i, bit in enumerate(bits_of(0, 4))})
+        energies = np.empty(len(plaintexts), dtype=float)
+        for index, plaintext in enumerate(plaintexts):
+            vector = {f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))}
+            energies[index] = simulator.step(vector).total_energy
+        return energies
+
+    return predict
+
+
+def acquire_model_traces(
+    key: int,
+    trace_count: int,
+    sbox: Sequence[int] = PRESENT_SBOX,
+    energy_per_bit: float = 1.0,
+    noise_std: float = 0.0,
+    seed: int = 2005,
+) -> TraceSet:
+    """Hamming-weight leakage model of an unprotected implementation.
+
+    Each trace is ``HW(S(p XOR key)) * energy_per_bit`` plus optional
+    Gaussian noise -- the textbook leakage model, used to validate the
+    attack implementation and as the unprotected-CMOS reference.
+    """
+    rng = np.random.default_rng(seed)
+    plaintexts = rng.integers(0, len(sbox), size=trace_count)
+    leakage = np.array(
+        [hamming_weight(sbox[int(p) ^ key]) * energy_per_bit for p in plaintexts],
+        dtype=float,
+    )
+    if noise_std > 0.0:
+        leakage = leakage + rng.normal(0.0, noise_std * energy_per_bit, size=trace_count)
+    return TraceSet(
+        plaintexts=plaintexts,
+        traces=leakage,
+        key=key,
+        description=f"hamming-weight model (noise={noise_std})",
+    )

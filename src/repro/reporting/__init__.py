@@ -1,0 +1,13 @@
+"""Reporting helpers: text tables, ASCII waveform plots and experiment records."""
+
+from .figures import ascii_plot, ascii_waveform
+from .results import ExperimentResult, format_experiment_results
+from .tables import format_table
+
+__all__ = [
+    "format_table",
+    "ascii_plot",
+    "ascii_waveform",
+    "ExperimentResult",
+    "format_experiment_results",
+]

@@ -1,0 +1,50 @@
+"""ASCII rendering of waveforms and series (terminal-friendly "figures")."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..electrical.waveform import Trace
+
+__all__ = ["ascii_plot", "ascii_waveform"]
+
+
+def ascii_plot(
+    series: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Render a numeric series as a small ASCII chart."""
+    values = np.asarray(list(series), dtype=float)
+    if values.size == 0:
+        return f"{label}(empty series)"
+    if values.size > width:
+        # Down-sample by averaging fixed-size buckets.
+        edges = np.linspace(0, values.size, width + 1, dtype=int)
+        values = np.array(
+            [values[start:stop].mean() if stop > start else values[min(start, values.size - 1)]
+             for start, stop in zip(edges[:-1], edges[1:])]
+        )
+    low, high = float(values.min()), float(values.max())
+    span = high - low if high > low else 1.0
+    rows: List[List[str]] = [[" "] * values.size for _ in range(height)]
+    for column, value in enumerate(values):
+        level = int(round((value - low) / span * (height - 1)))
+        rows[height - 1 - level][column] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"max = {high:.4g}")
+    lines.extend("|" + "".join(row) for row in rows)
+    lines.append("+" + "-" * values.size)
+    lines.append(f"min = {low:.4g}")
+    return "\n".join(lines)
+
+
+def ascii_waveform(trace: Trace, width: int = 72, height: int = 16) -> str:
+    """Render a :class:`~repro.electrical.waveform.Trace` as an ASCII chart."""
+    label = f"{trace.name}  (t = {trace.times[0] * 1e9:.2f} .. {trace.times[-1] * 1e9:.2f} ns)"
+    return ascii_plot(trace.values, width=width, height=height, label=label)

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    Cells are converted with ``str``; floats should be pre-formatted by
+    the caller so that units and precision stay under its control.
+    """
+    rendered_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(line(list(headers)))
+    lines.append(separator)
+    lines.extend(line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Dynamic differential logic substrate: the SABL gate of the paper's
+Fig. 1, the CVSL baseline, clocking, gate-level circuits and the
+cycle-accurate power simulator."""
+
+from .circuit import Connection, DifferentialCircuit, GateInstance, map_expressions
+from .clocking import PhaseSchedule, clock_waveform, input_rail_waveform, rail_waveforms
+from .cvsl import CVSLGate
+from .gate import SABLGate, TransientResult
+from .simulator import CircuitPowerSimulator, CyclePowerRecord
+
+__all__ = [
+    "SABLGate",
+    "CVSLGate",
+    "TransientResult",
+    "PhaseSchedule",
+    "clock_waveform",
+    "input_rail_waveform",
+    "rail_waveforms",
+    "DifferentialCircuit",
+    "GateInstance",
+    "Connection",
+    "map_expressions",
+    "CircuitPowerSimulator",
+    "CyclePowerRecord",
+]

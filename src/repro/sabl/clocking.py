@@ -1,0 +1,118 @@
+"""Clock and input-rail waveforms for dynamic differential gates.
+
+A SABL gate alternates a precharge phase (clk low) and an evaluation
+phase (clk high).  During precharge both rails of every input are at 0;
+late in the precharge phase the differential inputs of the *next*
+evaluation arrive (they are produced by upstream gates or registers), and
+the evaluation phase then discharges the network.  This module produces
+the corresponding waveforms for the transient simulator and the phase
+bookkeeping used by the energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Sequence
+
+from ..electrical.technology import Technology
+
+__all__ = ["PhaseSchedule", "clock_waveform", "input_rail_waveform", "rail_waveforms"]
+
+
+@dataclass(frozen=True)
+class PhaseSchedule:
+    """Timing of the precharge/evaluation phases."""
+
+    technology: Technology
+
+    @property
+    def period(self) -> float:
+        return self.technology.clock_period
+
+    @property
+    def half_period(self) -> float:
+        return self.technology.half_period
+
+    def cycle_start(self, cycle: int) -> float:
+        """Start of the precharge phase of ``cycle``."""
+        return cycle * self.period
+
+    def input_arrival(self, cycle: int) -> float:
+        """Moment the differential inputs of ``cycle`` become valid."""
+        return self.cycle_start(cycle) + self.technology.input_arrival_time
+
+    def evaluation_start(self, cycle: int) -> float:
+        """Start of the evaluation phase of ``cycle``."""
+        return self.cycle_start(cycle) + self.half_period
+
+    def cycle_end(self, cycle: int) -> float:
+        """End of the evaluation phase of ``cycle``."""
+        return self.cycle_start(cycle + 1)
+
+    def cycle_of(self, time: float) -> int:
+        """Index of the cycle containing ``time``."""
+        return int(time // self.period)
+
+    def phase_of(self, time: float) -> str:
+        """``"precharge"`` or ``"evaluation"``."""
+        offset = time - self.cycle_start(self.cycle_of(time))
+        return "precharge" if offset < self.half_period else "evaluation"
+
+
+def clock_waveform(technology: Technology, cycles: int) -> Callable[[float], float]:
+    """Clock waveform: 0 V during precharge, VDD during evaluation."""
+    schedule = PhaseSchedule(technology)
+
+    def clock(time: float) -> float:
+        if time >= cycles * schedule.period:
+            return 0.0
+        return technology.vdd if schedule.phase_of(time) == "evaluation" else 0.0
+
+    return clock
+
+
+def input_rail_waveform(
+    values: Sequence[bool],
+    positive_rail: bool,
+    technology: Technology,
+) -> Callable[[float], float]:
+    """Waveform of one rail of one differential input.
+
+    ``values[k]`` is the logical value of the input during the evaluation
+    phase of cycle ``k``.  Both rails are 0 during the early precharge
+    phase; from the input-arrival point of cycle ``k`` until the end of
+    that cycle's evaluation phase, the rail corresponding to ``values[k]``
+    carries VDD and the other stays at 0.
+    """
+    schedule = PhaseSchedule(technology)
+    values = [bool(value) for value in values]
+
+    def rail(time: float) -> float:
+        cycle = schedule.cycle_of(time)
+        if cycle >= len(values) or cycle < 0:
+            return 0.0
+        if time < schedule.input_arrival(cycle):
+            return 0.0
+        active = values[cycle] if positive_rail else not values[cycle]
+        return technology.vdd if active else 0.0
+
+    return rail
+
+
+def rail_waveforms(
+    events: Sequence[Mapping[str, bool]],
+    variables: Sequence[str],
+    technology: Technology,
+) -> dict:
+    """Waveforms for both rails of every input variable.
+
+    ``events[k]`` maps each variable to its value during cycle ``k``.
+    Returns a dict keyed by rail net name (``A`` and ``A_b`` for variable
+    ``A``).
+    """
+    waveforms = {}
+    for variable in variables:
+        values = [bool(event[variable]) for event in events]
+        waveforms[variable] = input_rail_waveform(values, True, technology)
+        waveforms[f"{variable}_b"] = input_rail_waveform(values, False, technology)
+    return waveforms

@@ -1,0 +1,92 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolexpr import And, Not, Or, Var, Xor, parse
+from repro.core import synthesize_fc_dpdn
+from repro.electrical import generic_180nm
+from repro.network import build_genuine_dpdn
+
+try:
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except Exception:  # pragma: no cover - hypothesis is an install-time dependency
+    HAVE_HYPOTHESIS = False
+
+
+# --------------------------------------------------------------------------- fixtures
+
+
+@pytest.fixture
+def and2():
+    """The paper's AND-NAND function."""
+    return parse("A & B")
+
+
+@pytest.fixture
+def oai22():
+    """The paper's Fig. 5 design-example function."""
+    return parse("((A | B) & (C | D))'")
+
+
+@pytest.fixture
+def and2_genuine(and2):
+    return build_genuine_dpdn(and2, name="AND2_genuine")
+
+
+@pytest.fixture
+def and2_fc(and2):
+    return synthesize_fc_dpdn(and2, name="AND2_fc")
+
+
+@pytest.fixture
+def technology():
+    return generic_180nm()
+
+
+# A small set of representative functions used by several test modules.
+REPRESENTATIVE_FUNCTIONS = {
+    "AND2": "A & B",
+    "OR2": "A | B",
+    "XOR2": "A ^ B",
+    "AND3": "A & B & C",
+    "AO21": "(A & B) | C",
+    "OAI21": "((A | B) & C)'",
+    "OAI22": "((A | B) & (C | D))'",
+    "MAJ3": "(A & B) | (B & C) | (A & C)",
+    "MUX2": "(S & A) | (~S & B)",
+}
+
+
+@pytest.fixture(params=sorted(REPRESENTATIVE_FUNCTIONS))
+def representative_function(request):
+    """Parametrised fixture yielding (name, expression) pairs."""
+    name = request.param
+    return name, parse(REPRESENTATIVE_FUNCTIONS[name])
+
+
+# --------------------------------------------------------------------------- strategies
+
+
+if HAVE_HYPOTHESIS:
+
+    _VARIABLE_NAMES = ("A", "B", "C", "D")
+
+    def expression_strategy(max_leaves: int = 8, variables=_VARIABLE_NAMES):
+        """Hypothesis strategy producing random Boolean expressions."""
+        literals = st.sampled_from(variables).map(Var) | st.sampled_from(variables).map(
+            lambda name: Not(Var(name))
+        )
+
+        def extend(children):
+            return (
+                st.tuples(children, children).map(lambda pair: And(*pair))
+                | st.tuples(children, children).map(lambda pair: Or(*pair))
+                | st.tuples(children, children).map(lambda pair: Xor(*pair))
+                | children.map(Not)
+            )
+
+        return st.recursive(literals, extend, max_leaves=max_leaves)

@@ -1,0 +1,151 @@
+"""Unit tests for the Boolean expression AST."""
+
+import pytest
+
+from repro.boolexpr import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Not,
+    Or,
+    Var,
+    Xor,
+    ensure_expr,
+    vars_,
+)
+
+
+class TestVar:
+    def test_evaluate_reads_assignment(self):
+        assert Var("A").evaluate({"A": True}) is True
+        assert Var("A").evaluate({"A": False}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Var("A").evaluate({"B": True})
+
+    def test_variables(self):
+        assert Var("A").variables() == frozenset({"A"})
+
+    def test_equality_and_hash(self):
+        assert Var("A") == Var("A")
+        assert Var("A") != Var("B")
+        assert hash(Var("A")) == hash(Var("A"))
+        assert len({Var("A"), Var("A"), Var("B")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Var("A").name = "B"
+
+    def test_vars_helper(self):
+        a, b, c = vars_("A", "B", "C")
+        assert (a.name, b.name, c.name) == ("A", "B", "C")
+
+
+class TestConst:
+    def test_constants_evaluate(self):
+        assert TRUE.evaluate({}) is True
+        assert FALSE.evaluate({}) is False
+
+    def test_equality(self):
+        assert TRUE == Const(True)
+        assert TRUE != FALSE
+
+    def test_no_variables(self):
+        assert TRUE.variables() == frozenset()
+
+
+class TestOperators:
+    def test_and_evaluation(self):
+        expr = Var("A") & Var("B")
+        assert isinstance(expr, And)
+        assert expr.evaluate({"A": True, "B": True}) is True
+        assert expr.evaluate({"A": True, "B": False}) is False
+
+    def test_or_evaluation(self):
+        expr = Var("A") | Var("B")
+        assert isinstance(expr, Or)
+        assert expr.evaluate({"A": False, "B": False}) is False
+        assert expr.evaluate({"A": False, "B": True}) is True
+
+    def test_xor_evaluation_is_parity(self):
+        expr = Xor(Var("A"), Var("B"), Var("C"))
+        assert expr.evaluate({"A": True, "B": True, "C": True}) is True
+        assert expr.evaluate({"A": True, "B": True, "C": False}) is False
+
+    def test_invert(self):
+        expr = ~Var("A")
+        assert isinstance(expr, Not)
+        assert expr.evaluate({"A": True}) is False
+
+    def test_nary_flattening(self):
+        expr = And(Var("A"), And(Var("B"), Var("C")))
+        assert len(expr.args) == 3
+        assert expr == And(Var("A"), Var("B"), Var("C"))
+
+    def test_flattening_preserves_semantics(self):
+        nested = Or(Var("A"), Or(Var("B"), Var("C")))
+        flat = Or(Var("A"), Var("B"), Var("C"))
+        for a in (False, True):
+            for b in (False, True):
+                for c in (False, True):
+                    env = {"A": a, "B": b, "C": c}
+                    assert nested.evaluate(env) == flat.evaluate(env)
+
+    def test_binary_operator_with_python_bool(self):
+        expr = Var("A") & True
+        assert expr.evaluate({"A": True}) is True
+
+    def test_nary_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And(Var("A"))
+
+    def test_bool_context_rejected(self):
+        with pytest.raises(TypeError):
+            bool(Var("A"))
+
+
+class TestMetricsAndWalk:
+    def test_literal_count_counts_occurrences(self):
+        expr = (Var("A") & Var("B")) | (Var("A") & ~Var("C"))
+        assert expr.literal_count() == 4
+
+    def test_depth(self):
+        assert Var("A").depth() == 0
+        assert (Var("A") & Var("B")).depth() == 1
+        assert ((Var("A") & Var("B")) | Var("C")).depth() == 2
+
+    def test_walk_yields_all_nodes(self):
+        expr = Var("A") & ~Var("B")
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds.count("Var") == 2
+        assert kinds.count("Not") == 1
+        assert kinds.count("And") == 1
+
+    def test_variables_of_compound(self):
+        expr = (Var("A") & Var("B")) | Xor(Var("C"), Var("A"))
+        assert expr.variables() == frozenset({"A", "B", "C"})
+
+
+class TestEnsureExpr:
+    def test_accepts_expressions(self):
+        expr = Var("A")
+        assert ensure_expr(expr) is expr
+
+    def test_accepts_bool_and_int(self):
+        assert ensure_expr(True) == TRUE
+        assert ensure_expr(0) == FALSE
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_expr("A")
+
+    def test_repr_is_readable(self):
+        expr = (Var("A") & ~Var("B")) | Var("C")
+        text = repr(expr)
+        assert "A" in text and "B" in text and "C" in text

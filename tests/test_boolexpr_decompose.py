@@ -1,0 +1,85 @@
+"""Unit tests for the binary AND/OR decomposition (synthesis Step 1)."""
+
+import pytest
+
+from repro.boolexpr import (
+    FALSE,
+    And,
+    DecompositionStyle,
+    Not,
+    Or,
+    Var,
+    decompose,
+    equivalent,
+    parse,
+    to_nnf,
+)
+from repro.boolexpr.decompose import decomposition_tree_depth
+
+
+class TestLiteralCase:
+    def test_variable(self):
+        result = decompose(Var("A"))
+        assert result.is_literal
+        assert result.literal == Var("A")
+
+    def test_negated_variable(self):
+        result = decompose(Not(Var("A")))
+        assert result.is_literal
+        assert result.literal == Not(Var("A"))
+
+
+class TestBinarySplit:
+    def test_and_identified(self):
+        result = decompose(parse("A & B"))
+        assert result.kind == "and"
+        assert result.x == Var("A") and result.y == Var("B")
+
+    def test_or_identified(self):
+        result = decompose(parse("A | B"))
+        assert result.kind == "or"
+
+    def test_linear_split_of_nary_and(self):
+        result = decompose(parse("A & B & C & D"), DecompositionStyle.LINEAR)
+        assert result.x == Var("A")
+        assert result.y == parse("B & C & D")
+
+    def test_balanced_split_of_nary_and(self):
+        result = decompose(parse("A & B & C & D"), DecompositionStyle.BALANCED)
+        assert result.x == parse("A & B")
+        assert result.y == parse("C & D")
+
+    def test_split_preserves_function(self):
+        expr = parse("A | B | C | D | E")
+        for style in DecompositionStyle:
+            result = decompose(expr, style)
+            assert equivalent(Or(result.x, result.y), expr)
+
+
+class TestErrors:
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(FALSE)
+
+    def test_non_nnf_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(Not(parse("A & B")))
+
+    def test_xor_rejected_until_lowered(self):
+        with pytest.raises(ValueError):
+            decompose(parse("A ^ B"))
+        # Lowering first makes it decomposable.
+        assert decompose(to_nnf(parse("A ^ B"))).kind == "or"
+
+
+class TestTreeDepth:
+    def test_literal_depth_zero(self):
+        assert decomposition_tree_depth(Var("A")) == 0
+
+    def test_linear_vs_balanced_depth(self):
+        expr = parse("A & B & C & D")
+        assert decomposition_tree_depth(expr, DecompositionStyle.LINEAR) == 3
+        assert decomposition_tree_depth(expr, DecompositionStyle.BALANCED) == 2
+
+    def test_depth_of_two_level_expression(self):
+        assert decomposition_tree_depth(parse("(A & B) | (C & D)")) == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the expression parser."""
+
+import pytest
+
+from repro.boolexpr import And, Not, Or, ParseError, Var, Xor, equivalent, parse
+
+
+class TestBasicParsing:
+    def test_single_variable(self):
+        assert parse("A") == Var("A")
+
+    def test_and_symbols(self):
+        for text in ("A & B", "A * B", "A . B", "A B"):
+            assert parse(text) == And(Var("A"), Var("B")), text
+
+    def test_or_symbols(self):
+        for text in ("A | B", "A + B"):
+            assert parse(text) == Or(Var("A"), Var("B")), text
+
+    def test_xor(self):
+        assert parse("A ^ B") == Xor(Var("A"), Var("B"))
+
+    def test_not_prefix_forms(self):
+        assert parse("~A") == Not(Var("A"))
+        assert parse("!A") == Not(Var("A"))
+
+    def test_not_postfix(self):
+        assert parse("A'") == Not(Var("A"))
+        assert parse("A''") == Not(Not(Var("A")))
+
+    def test_constants(self):
+        assert parse("1").evaluate({}) is True
+        assert parse("0").evaluate({}) is False
+
+    def test_identifier_with_index(self):
+        expr = parse("p0 & p1")
+        assert expr.variables() == frozenset({"p0", "p1"})
+
+
+class TestPrecedence:
+    def test_and_binds_tighter_than_or(self):
+        assert parse("A & B | C") == Or(And(Var("A"), Var("B")), Var("C"))
+
+    def test_xor_between_and_and_or(self):
+        expr = parse("A & B ^ C | D")
+        assert expr == Or(Xor(And(Var("A"), Var("B")), Var("C")), Var("D"))
+
+    def test_parentheses_override(self):
+        assert parse("A & (B | C)") == And(Var("A"), Or(Var("B"), Var("C")))
+
+    def test_juxtaposition_with_parentheses(self):
+        assert parse("(A | B)(C | D)") == And(
+            Or(Var("A"), Var("B")), Or(Var("C"), Var("D"))
+        )
+
+    def test_postfix_complement_of_group(self):
+        expr = parse("((A | B) & (C | D))'")
+        assert isinstance(expr, Not)
+        assert expr.operand == And(Or(Var("A"), Var("B")), Or(Var("C"), Var("D")))
+
+    def test_nary_collapse(self):
+        assert parse("A & B & C") == And(Var("A"), Var("B"), Var("C"))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "A &", "& A", "(A", "A)", "A @ B", "A ~", "()"],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("A & ) B")
+        assert "position" in str(excinfo.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A & B",
+            "A | B & C",
+            "~(A | B)",
+            "(A ^ B) ^ C",
+            "(A & B) | (~C & D)",
+            "((A | B) & (C | D))'",
+            "(S & A) | (~S & B)",
+        ],
+    )
+    def test_repr_reparses_to_equivalent_expression(self, text):
+        expr = parse(text)
+        assert equivalent(expr, parse(repr(expr)))

@@ -1,0 +1,69 @@
+"""Unit and property tests for the lightweight simplifier."""
+
+import pytest
+
+from repro.boolexpr import FALSE, TRUE, Var, equivalent, parse, simplify, simplify_constants
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+
+from conftest import expression_strategy
+
+
+class TestConstantFolding:
+    def test_and_with_false(self):
+        assert simplify_constants(parse("A & 0")) == FALSE
+
+    def test_and_with_true_drops_constant(self):
+        assert simplify_constants(parse("A & 1")) == Var("A")
+
+    def test_or_with_true(self):
+        assert simplify_constants(parse("A | 1")) == TRUE
+
+    def test_or_with_false_drops_constant(self):
+        assert simplify_constants(parse("A | 0")) == Var("A")
+
+    def test_double_negation(self):
+        assert simplify_constants(parse("~~A")) == Var("A")
+
+    def test_xor_with_constants(self):
+        assert equivalent(simplify_constants(parse("A ^ 1")), parse("~A"))
+        assert simplify_constants(parse("A ^ 0")) == Var("A")
+
+    def test_nested_folding(self):
+        assert simplify_constants(parse("(A & 1) | (B & 0)")) == Var("A")
+
+
+class TestLocalRules:
+    def test_idempotence(self):
+        assert simplify(parse("A & A")) == Var("A")
+        assert simplify(parse("A | A")) == Var("A")
+
+    def test_complementation(self):
+        assert simplify(parse("A & ~A")) == FALSE
+        assert simplify(parse("A | ~A")) == TRUE
+
+    def test_absorption(self):
+        assert simplify(parse("A | (A & B)")) == Var("A")
+        assert simplify(parse("A & (A | B)")) == Var("A")
+
+    def test_keeps_irreducible_expressions(self):
+        expr = parse("(A & B) | (C & D)")
+        assert equivalent(simplify(expr), expr)
+
+
+class TestProperties:
+    @given(expression_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_preserves_function(self, expr):
+        assert equivalent(simplify(expr), expr)
+
+    @given(expression_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_simplify_constants_preserves_function(self, expr):
+        assert equivalent(simplify_constants(expr), expr)
+
+    @given(expression_strategy(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_never_grows_literal_count(self, expr):
+        assert simplify(expr).literal_count() <= expr.literal_count()

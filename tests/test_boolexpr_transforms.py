@@ -1,0 +1,158 @@
+"""Unit and property tests for the expression transforms."""
+
+import pytest
+
+from repro.boolexpr import (
+    And,
+    Not,
+    Or,
+    Var,
+    Xor,
+    cofactor,
+    complement,
+    dual,
+    equivalent,
+    is_literal,
+    literal_polarity,
+    literal_variable,
+    parse,
+    product_of_sums,
+    shannon_expansion,
+    substitute,
+    sum_of_products,
+    to_nnf,
+)
+from repro.boolexpr.transforms import is_nnf
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+
+from conftest import expression_strategy
+
+
+class TestLiterals:
+    def test_is_literal(self):
+        assert is_literal(Var("A"))
+        assert is_literal(Not(Var("A")))
+        assert not is_literal(Not(Not(Var("A"))))
+        assert not is_literal(parse("A & B"))
+
+    def test_literal_variable_and_polarity(self):
+        assert literal_variable(Var("A")) == "A"
+        assert literal_variable(Not(Var("A"))) == "A"
+        assert literal_polarity(Var("A")) is True
+        assert literal_polarity(Not(Var("A"))) is False
+
+    def test_literal_helpers_reject_compounds(self):
+        with pytest.raises(ValueError):
+            literal_variable(parse("A & B"))
+        with pytest.raises(ValueError):
+            literal_polarity(parse("A | B"))
+
+
+class TestComplement:
+    def test_de_morgan_on_and(self):
+        assert complement(parse("A & B")) == parse("~A | ~B")
+
+    def test_de_morgan_on_or(self):
+        assert complement(parse("A | B")) == parse("~A & ~B")
+
+    def test_complement_is_semantically_negation(self):
+        expr = parse("(A & B) | (~C & D)")
+        negated = complement(expr)
+        assert equivalent(negated, Not(expr))
+
+    def test_double_complement_is_identity_semantically(self):
+        expr = parse("(A | B) & C")
+        assert equivalent(complement(complement(expr)), expr)
+
+    def test_complement_result_is_nnf(self):
+        expr = parse("~(A & (B | ~C)) ^ D")
+        assert is_nnf(complement(expr))
+
+
+class TestNNF:
+    def test_removes_xor(self):
+        expr = to_nnf(parse("A ^ B"))
+        assert is_nnf(expr)
+        assert equivalent(expr, parse("A ^ B"))
+
+    def test_pushes_negations_to_literals(self):
+        expr = to_nnf(parse("~(A & (B | ~C))"))
+        assert is_nnf(expr)
+
+    def test_idempotent(self):
+        expr = to_nnf(parse("~(A ^ (B & C))"))
+        assert to_nnf(expr) == expr
+
+
+class TestDual:
+    def test_dual_swaps_operators(self):
+        assert dual(parse("A & B")) == parse("A | B")
+        assert dual(parse("A | (B & C)")) == parse("A & (B | C)")
+
+    def test_dual_is_involution(self):
+        expr = parse("(A & B) | (C & ~D)")
+        assert dual(dual(expr)) == expr
+
+    def test_dual_equals_complement_of_complemented_inputs(self):
+        # dual(f)(x) == ~f(~x)
+        expr = parse("(A & B) | C")
+        renamed = substitute(
+            complement(expr), {"A": Not(Var("A")), "B": Not(Var("B")), "C": Not(Var("C"))}
+        )
+        assert equivalent(dual(expr), renamed)
+
+
+class TestSubstituteAndCofactor:
+    def test_substitute_replaces_variables(self):
+        expr = substitute(parse("A & B"), {"A": parse("C | D")})
+        assert equivalent(expr, parse("(C | D) & B"))
+
+    def test_substitute_leaves_unmapped_variables(self):
+        expr = substitute(parse("A & B"), {"A": Var("X")})
+        assert expr.variables() == frozenset({"X", "B"})
+
+    def test_cofactor(self):
+        expr = parse("(A & B) | C")
+        assert equivalent(cofactor(expr, "A", True), parse("B | C"))
+        assert equivalent(cofactor(expr, "A", False), parse("C"))
+
+    def test_shannon_expansion_recombines(self):
+        expr = parse("(A & B) | (~A & C)")
+        positive, negative = shannon_expansion(expr, "A")
+        recombined = Or(And(Var("A"), positive), And(Not(Var("A")), negative))
+        assert equivalent(recombined, expr)
+
+
+class TestCanonicalForms:
+    def test_sum_of_products_equivalent(self):
+        expr = parse("(A | B) & (C | ~A)")
+        assert equivalent(sum_of_products(expr), expr)
+
+    def test_product_of_sums_equivalent(self):
+        expr = parse("(A & B) | (~C & D)")
+        assert equivalent(product_of_sums(expr), expr)
+
+    def test_sop_of_constant_functions(self):
+        assert sum_of_products(parse("A & ~A")).evaluate({"A": True}) is False
+        assert product_of_sums(parse("A | ~A")).evaluate({"A": False}) is True
+
+
+class TestProperties:
+    @given(expression_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_negates(self, expr):
+        assert equivalent(complement(expr), Not(expr))
+
+    @given(expression_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_nnf_preserves_function_and_is_nnf(self, expr):
+        lowered = to_nnf(expr)
+        assert is_nnf(lowered)
+        assert equivalent(lowered, expr)
+
+    @given(expression_strategy(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_sop_is_equivalent(self, expr):
+        assert equivalent(sum_of_products(expr), expr)

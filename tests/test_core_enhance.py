@@ -1,0 +1,97 @@
+"""Unit tests for the Section 5 enhancement (pass-gate insertion)."""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import (
+    check_constant_evaluation_depth,
+    check_no_early_propagation,
+    enhance_fc_dpdn,
+    enhance_fc_dpdn_with_insertions,
+    synthesize_fc_dpdn,
+    verify_gate,
+)
+from repro.network import evaluation_depths, is_fully_connected, path_variables, structural_paths
+
+
+class TestAndNandFig6:
+    def test_two_dummy_devices_added(self, and2_fc):
+        result = enhance_fc_dpdn_with_insertions(and2_fc)
+        assert result.dummy_device_count == 2
+        assert result.dpdn.device_count() == and2_fc.device_count() + 2
+
+    def test_pass_gate_is_on_the_missing_input(self, and2_fc):
+        result = enhance_fc_dpdn_with_insertions(and2_fc)
+        assert [insertion.variable for insertion in result.insertions] == ["A"]
+
+    def test_constant_depth_of_two(self, and2, and2_fc):
+        enhanced = enhance_fc_dpdn(and2_fc)
+        depths = set(evaluation_depths(enhanced).values())
+        assert depths == {2}
+
+    def test_dummy_devices_are_marked(self, and2_fc):
+        enhanced = enhance_fc_dpdn(and2_fc)
+        roles = [t.role for t in enhanced.transistors]
+        assert roles.count("dummy") == 2
+        assert roles.count("logic") == 4
+
+    def test_function_and_connectivity_preserved(self, and2, and2_fc):
+        enhanced = enhance_fc_dpdn(and2_fc)
+        report = verify_gate(
+            enhanced, and2, require_constant_depth=True, require_no_early_propagation=True
+        )
+        assert report.passed, report.describe()
+
+
+class TestEnhancementProperties:
+    def test_every_discharge_path_sees_every_input(self, representative_function):
+        name, function = representative_function
+        enhanced = enhance_fc_dpdn(synthesize_fc_dpdn(function, name=name))
+        variables = set(enhanced.variables())
+        for output in (enhanced.x, enhanced.y):
+            for path in structural_paths(enhanced, output, enhanced.z):
+                gate_variables = {t.gate.variable for t in path}
+                rails = {}
+                for device in path:
+                    rails.setdefault(device.gate.variable, set()).add(device.gate.positive)
+                contradictory = any(len(p) > 1 for p in rails.values())
+                if not contradictory:
+                    assert path_variables(path) == variables, (name, output)
+
+    def test_constant_depth_and_no_early_propagation(self, representative_function):
+        name, function = representative_function
+        enhanced = enhance_fc_dpdn(synthesize_fc_dpdn(function, name=name))
+        assert check_constant_evaluation_depth(enhanced).passed, name
+        assert check_no_early_propagation(enhanced).passed, name
+
+    def test_enhancement_keeps_full_connectivity(self, representative_function):
+        name, function = representative_function
+        enhanced = enhance_fc_dpdn(synthesize_fc_dpdn(function, name=name))
+        assert is_fully_connected(enhanced), name
+
+    def test_unenhanced_fc_gate_shows_early_propagation(self, and2_fc):
+        # The plain FC AND-NAND evaluates as soon as B arrives with B=0
+        # (the ~B device alone discharges Y); the enhancement removes this.
+        assert not check_no_early_propagation(and2_fc).passed
+
+    def test_buffer_gate_needs_no_enhancement(self):
+        fc = synthesize_fc_dpdn(parse("A"))
+        result = enhance_fc_dpdn_with_insertions(fc)
+        assert result.insertions == []
+
+    def test_enhancement_is_idempotent_for_already_enhanced_networks(self, and2_fc):
+        once = enhance_fc_dpdn(and2_fc)
+        twice = enhance_fc_dpdn_with_insertions(once)
+        assert twice.insertions == []
+
+    def test_genuine_network_can_also_be_enhanced(self, and2_genuine, and2):
+        # The algorithm only uses the path structure, so a genuine network
+        # is accepted; it gains constant depth but stays non-FC.
+        enhanced = enhance_fc_dpdn(and2_genuine)
+        assert check_constant_evaluation_depth(enhanced).passed
+        assert verify_gate(enhanced, and2, require_fully_connected=False).passed
+
+    def test_insertion_records_are_descriptive(self, and2_fc):
+        result = enhance_fc_dpdn_with_insertions(and2_fc)
+        text = result.describe()
+        assert "pass-gate" in text and "dummy" in text

@@ -1,0 +1,85 @@
+"""Unit tests for the secure cell-library generator."""
+
+import pytest
+
+from repro.boolexpr import equivalent, parse
+from repro.core import (
+    CellSpec,
+    STANDARD_CELL_SPECS,
+    build_cell,
+    build_library,
+    library_statistics,
+)
+from repro.network import is_fully_connected
+
+# Building the whole catalogue once keeps the module fast.
+SUBSET = [spec for spec in STANDARD_CELL_SPECS if spec.name in ("AND2", "OR2", "XOR2", "OAI22", "MAJ3")]
+
+
+@pytest.fixture(scope="module")
+def library_subset():
+    return build_library(SUBSET)
+
+
+class TestCatalogue:
+    def test_catalogue_contains_the_paper_examples(self):
+        names = {spec.name for spec in STANDARD_CELL_SPECS}
+        assert "AND2" in names and "OAI22" in names
+
+    def test_spec_functions_parse(self):
+        for spec in STANDARD_CELL_SPECS:
+            assert spec.function().variables()
+
+    def test_catalogue_has_no_duplicate_names(self):
+        names = [spec.name for spec in STANDARD_CELL_SPECS]
+        assert len(names) == len(set(names))
+
+
+class TestBuildCell:
+    def test_all_variants_present(self, library_subset):
+        cell = library_subset["AND2"]
+        variants = cell.variants()
+        assert {"genuine", "fully_connected", "enhanced", "transformed"} <= set(variants)
+
+    def test_functions_are_equivalent_across_variants(self, library_subset):
+        cell = library_subset["OAI22"]
+        for variant in cell.variants().values():
+            assert variant.function is not None
+            assert equivalent(variant.function, cell.function)
+
+    def test_fc_variants_are_fully_connected(self, library_subset):
+        for cell in library_subset.values():
+            assert is_fully_connected(cell.fully_connected), cell.spec.name
+            assert is_fully_connected(cell.enhanced), cell.spec.name
+
+    def test_genuine_variant_of_and2_is_not_fully_connected(self, library_subset):
+        assert not is_fully_connected(library_subset["AND2"].genuine)
+
+    def test_custom_cell(self):
+        cell = build_cell(CellSpec("CUSTOM", "(A & B & C) | (~A & D)"))
+        assert is_fully_connected(cell.fully_connected)
+
+    def test_broken_spec_raises(self):
+        with pytest.raises(Exception):
+            build_cell(CellSpec("BROKEN", "A & ~A"))
+
+
+class TestStatistics:
+    def test_statistics_rows(self, library_subset):
+        rows = library_statistics(library_subset)
+        assert len(rows) == len(library_subset)
+        by_name = {row.name: row for row in rows}
+        and2 = by_name["AND2"]
+        assert and2.inputs == 2
+        assert and2.genuine_devices == and2.fc_devices == 4
+        assert and2.dummy_devices == 2
+        assert and2.fc_fully_connected and not and2.genuine_fully_connected
+
+    def test_enhanced_depth_is_constant(self, library_subset):
+        for row in library_statistics(library_subset):
+            low, high = row.enhanced_depth_range
+            assert low == high, row.name
+
+    def test_enhanced_devices_at_least_fc_devices(self, library_subset):
+        for row in library_statistics(library_subset):
+            assert row.enhanced_devices >= row.fc_devices

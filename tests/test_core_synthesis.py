@@ -1,0 +1,105 @@
+"""Unit tests for the Section 4.1 synthesis procedure."""
+
+import pytest
+
+from repro.boolexpr import DecompositionStyle, complement, parse, to_nnf
+from repro.core import synthesize_fc_dpdn, synthesize_fc_dpdn_with_steps, verify_gate
+from repro.network import (
+    build_genuine_dpdn,
+    evaluation_depths,
+    is_fully_connected,
+    realized_function,
+)
+
+
+class TestAndNandFig2:
+    """The AND-NAND example of the paper's Fig. 2 (right)."""
+
+    def test_device_count_matches_genuine(self, and2, and2_fc, and2_genuine):
+        assert and2_fc.device_count() == and2_genuine.device_count() == 4
+
+    def test_single_internal_node(self, and2_fc):
+        assert len(and2_fc.internal_nodes()) == 1
+
+    def test_fully_connected(self, and2_fc):
+        assert is_fully_connected(and2_fc)
+
+    def test_structure_shares_the_b_network(self, and2_fc):
+        # In Fig. 2 (right) the B transistor hangs below the internal node
+        # W and is shared: A and ~A both connect to W, B connects W to Z
+        # and ~B connects Y directly to Z.
+        internal = and2_fc.internal_nodes()[0]
+        gates_at_internal = sorted(repr(t.gate) for t in and2_fc.transistors_at(internal))
+        assert gates_at_internal == ["A", "B", "~A"]
+
+    def test_function(self, and2, and2_fc):
+        assert verify_gate(and2_fc, and2).passed
+
+
+class TestGeneralSynthesis:
+    def test_every_representative_cell_is_correct_and_fully_connected(
+        self, representative_function
+    ):
+        name, function = representative_function
+        dpdn = synthesize_fc_dpdn(function, name=name)
+        report = verify_gate(dpdn, function)
+        assert report.passed, report.describe()
+
+    def test_device_count_equals_genuine_for_and_or_functions(self):
+        # For AND/OR factored forms (no XOR lowering) the synthesis uses
+        # exactly as many devices as the genuine network.
+        for text in ("A & B", "A | B", "(A | B) & C", "((A | B) & (C | D))'", "A & B & C & D"):
+            function = parse(text)
+            genuine = build_genuine_dpdn(function)
+            fc = synthesize_fc_dpdn(function)
+            assert fc.device_count() == genuine.device_count(), text
+
+    def test_single_literal_function(self):
+        dpdn = synthesize_fc_dpdn(parse("A"))
+        assert dpdn.device_count() == 2
+        assert dpdn.internal_nodes() == []
+        assert is_fully_connected(dpdn)
+
+    def test_negated_literal_function(self):
+        dpdn = synthesize_fc_dpdn(parse("~A"))
+        table = realized_function(dpdn)
+        assert table[(("A", False),)] == (True, False)
+        assert table[(("A", True),)] == (False, True)
+
+    def test_xor_is_lowered_and_correct(self):
+        dpdn = synthesize_fc_dpdn(parse("A ^ B ^ C"))
+        assert verify_gate(dpdn, parse("A ^ B ^ C")).passed
+
+    def test_constant_function_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_fc_dpdn(parse("A & ~A"))
+
+    def test_decomposition_style_changes_depth_not_connectivity(self):
+        function = parse("A & B & C & D")
+        linear = synthesize_fc_dpdn(function, style=DecompositionStyle.LINEAR)
+        balanced = synthesize_fc_dpdn(function, style=DecompositionStyle.BALANCED)
+        assert is_fully_connected(linear) and is_fully_connected(balanced)
+        linear_max = max(d for d in evaluation_depths(linear).values())
+        balanced_max = max(d for d in evaluation_depths(balanced).values())
+        assert balanced_max <= linear_max
+
+    def test_internal_node_count_equals_and_or_operations(self):
+        # Each binary decomposition step introduces exactly one internal node.
+        function = to_nnf(parse("(A | B) & (C | D)"))
+        dpdn = synthesize_fc_dpdn(function)
+        assert len(dpdn.internal_nodes()) == 3
+
+
+class TestSynthesisTrace:
+    def test_steps_cover_every_literal_and_operation(self, oai22):
+        result = synthesize_fc_dpdn_with_steps(oai22, name="OAI22")
+        literal_steps = [step for step in result.steps if step.kind == "literal"]
+        operation_steps = [step for step in result.steps if step.kind != "literal"]
+        assert len(literal_steps) == 4
+        assert len(operation_steps) == 3
+        assert result.dpdn.device_count() == 8
+
+    def test_describe_mentions_internal_nodes(self, and2):
+        result = synthesize_fc_dpdn_with_steps(and2)
+        text = result.describe()
+        assert "AND" in text and "literal" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the Section 4.2 transformation of existing DPDNs."""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import (
+    NotDualError,
+    check_device_count_preserved,
+    synthesize_fc_dpdn,
+    transform_to_fc,
+    transform_to_fc_with_moves,
+    verify_gate,
+)
+from repro.network import build_dpdn_from_branches, build_genuine_dpdn, is_fully_connected
+
+
+class TestAndNand:
+    def test_transform_produces_fully_connected_network(self, and2, and2_genuine):
+        transformed = transform_to_fc(and2_genuine)
+        assert is_fully_connected(transformed)
+        assert verify_gate(transformed, and2).passed
+
+    def test_device_count_preserved(self, and2_genuine):
+        transformed = transform_to_fc(and2_genuine)
+        assert check_device_count_preserved(and2_genuine, transformed).passed
+
+    def test_exactly_one_repositioned_device(self, and2_genuine):
+        # Fig. 2: repositioning transistor M2 (driven by ~A) from between
+        # Y and Z to between Y and W is the whole transformation.
+        result = transform_to_fc_with_moves(and2_genuine)
+        assert len(result.moves) == 1
+        assert result.moves[0].gate == "~A"
+
+    def test_original_network_is_not_modified(self, and2_genuine):
+        before = [(t.name, t.drain, t.source) for t in and2_genuine.transistors]
+        transform_to_fc(and2_genuine)
+        after = [(t.name, t.drain, t.source) for t in and2_genuine.transistors]
+        assert before == after
+
+
+class TestOai22Fig5:
+    def test_design_example(self, oai22):
+        genuine = build_genuine_dpdn(oai22, name="OAI22_genuine")
+        result = transform_to_fc_with_moves(genuine)
+        assert is_fully_connected(result.dpdn)
+        assert verify_gate(result.dpdn, oai22).passed
+        assert result.dpdn.device_count() == genuine.device_count() == 8
+        assert len(result.moves) >= 2  # one per series level of the example
+
+    def test_both_methods_agree_on_key_metrics(self, oai22):
+        genuine = build_genuine_dpdn(oai22)
+        transformed = transform_to_fc(genuine)
+        synthesized = synthesize_fc_dpdn(oai22)
+        assert transformed.device_count() == synthesized.device_count()
+        assert len(transformed.internal_nodes()) == len(synthesized.internal_nodes())
+
+
+class TestGeneralTransform:
+    def test_representative_cells(self, representative_function):
+        name, function = representative_function
+        if name == "XOR2":
+            pytest.skip("XOR lowering duplicates literals; covered by the synthesis path")
+        genuine = build_genuine_dpdn(function, name=name)
+        transformed = transform_to_fc(genuine)
+        assert is_fully_connected(transformed), name
+        assert verify_gate(transformed, function).passed, name
+        assert transformed.device_count() == genuine.device_count()
+
+    def test_single_literal_network_is_unchanged(self):
+        genuine = build_genuine_dpdn(parse("A"))
+        result = transform_to_fc_with_moves(genuine)
+        assert result.moves == []
+        assert result.dpdn.device_count() == 2
+
+    def test_moves_have_readable_description(self, oai22):
+        genuine = build_genuine_dpdn(oai22)
+        result = transform_to_fc_with_moves(genuine)
+        text = result.describe()
+        assert "move" in text and "repositioned" in text
+
+
+class TestRejectedInputs:
+    def test_non_complementary_branches_rejected(self):
+        broken = build_dpdn_from_branches(parse("A & B"), parse("~A & ~B"))
+        with pytest.raises(NotDualError):
+            transform_to_fc(broken)
+
+    def test_fully_connected_input_rejected(self, and2_fc):
+        # FC networks share devices between branches; 4.2 takes genuine
+        # networks as input, not as output.
+        with pytest.raises((NotDualError, ValueError)):
+            transform_to_fc(and2_fc)
+
+    def test_structurally_mismatched_branches_rejected(self):
+        # f realised as a 2-stack against a complement realised with a
+        # redundant, non-dual factored form.
+        broken = build_dpdn_from_branches(parse("A & B"), parse("(~A & ~B) | (~A & B & ~B)"))
+        with pytest.raises((NotDualError, ValueError)):
+            transform_to_fc(broken)

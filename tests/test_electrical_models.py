@@ -1,0 +1,193 @@
+"""Unit tests for the electrical substrate: technology cards, capacitance
+extraction, charge-based energy models and waveform containers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import synthesize_fc_dpdn
+from repro.electrical import (
+    CycleEnergySimulator,
+    EventEnergyModel,
+    Trace,
+    WaveformSet,
+    extract_capacitances,
+    generic_65nm,
+    generic_130nm,
+    generic_180nm,
+)
+from repro.network import build_genuine_dpdn, complementary_assignments
+
+
+class TestTechnology:
+    def test_default_card_values_are_sane(self, technology):
+        assert 0.5 < technology.vdd < 3.0
+        assert technology.vtn < technology.vdd / 2
+        assert technology.c_junction > 0 and technology.r_on_nmos > 0
+
+    def test_switching_energy(self, technology):
+        assert technology.switching_energy(1e-15) == pytest.approx(
+            1e-15 * technology.vdd**2
+        )
+
+    def test_scaled_override(self, technology):
+        scaled = technology.scaled(vdd=1.2)
+        assert scaled.vdd == 1.2
+        assert scaled.c_junction == technology.c_junction
+
+    def test_cards_are_ordered_by_node(self):
+        assert generic_180nm().vdd > generic_130nm().vdd > generic_65nm().vdd
+
+    def test_describe_mentions_units(self, technology):
+        text = technology.describe()
+        assert "fF" in text and "ns" in text
+
+
+class TestCapacitanceExtraction:
+    def test_every_node_has_positive_capacitance(self, and2_fc, technology):
+        extraction = extract_capacitances(and2_fc, technology)
+        for node in and2_fc.nodes():
+            assert extraction.capacitance(node) > 0
+
+    def test_outputs_are_matched_for_symmetric_network(self, and2_fc, technology):
+        extraction = extract_capacitances(and2_fc, technology)
+        assert extraction.capacitance(and2_fc.x) == pytest.approx(
+            extraction.capacitance(and2_fc.y)
+        )
+
+    def test_junctions_add_up(self, technology):
+        dpdn = build_genuine_dpdn(parse("A"))
+        extraction = extract_capacitances(dpdn, technology, include_sense_amplifier=False)
+        # X carries one junction (device A) plus output wire capacitance.
+        assert extraction.capacitance(dpdn.x) == pytest.approx(
+            technology.c_junction + technology.c_wire_output
+        )
+
+    def test_sense_amplifier_adds_capacitance(self, and2_fc, technology):
+        bare = extract_capacitances(and2_fc, technology, include_sense_amplifier=False)
+        with_sa = extract_capacitances(and2_fc, technology)
+        assert with_sa.capacitance(and2_fc.x) > bare.capacitance(and2_fc.x)
+
+    def test_total_and_describe(self, and2_fc, technology):
+        extraction = extract_capacitances(and2_fc, technology)
+        assert extraction.total() == pytest.approx(
+            sum(extraction.node_capacitance.values())
+        )
+        assert "fF" in extraction.describe()
+
+
+class TestEventEnergyModel:
+    def test_fc_gate_is_constant_power(self, and2_fc, technology):
+        model = EventEnergyModel(and2_fc, technology, style="sabl")
+        energies = [record.energy for record in model.sweep()]
+        assert max(energies) == pytest.approx(min(energies))
+
+    def test_genuine_gate_varies(self, and2_genuine, technology):
+        model = EventEnergyModel(and2_genuine, technology, style="sabl")
+        energies = [record.energy for record in model.sweep()]
+        assert max(energies) > min(energies)
+
+    def test_cvsl_varies_more_than_sabl_for_genuine_network(self, and2_genuine, technology):
+        sabl = EventEnergyModel(and2_genuine, technology, style="sabl")
+        cvsl = EventEnergyModel(and2_genuine, technology, style="cvsl")
+        def spread(model):
+            energies = [record.energy for record in model.sweep()]
+            return (max(energies) - min(energies)) / max(energies)
+        assert spread(cvsl) >= spread(sabl)
+
+    def test_unknown_style_rejected(self, and2_fc, technology):
+        with pytest.raises(ValueError):
+            EventEnergyModel(and2_fc, technology, style="static")
+
+    def test_output_load_adds_constant_energy(self, and2_fc, technology):
+        small = EventEnergyModel(and2_fc, technology, output_load=1e-15)
+        large = EventEnergyModel(and2_fc, technology, output_load=10e-15)
+        delta = large.event_energy({"A": True, "B": True}) - small.event_energy(
+            {"A": True, "B": True}
+        )
+        assert delta == pytest.approx(9e-15 * technology.vdd**2)
+
+    def test_discharged_capacitance_includes_internal_nodes_only_when_connected(
+        self, and2_genuine, technology
+    ):
+        model = EventEnergyModel(and2_genuine, technology, style="sabl")
+        floating = model.discharged_capacitance({"A": False, "B": False})
+        connected = model.discharged_capacitance({"A": True, "B": True})
+        assert connected > floating
+
+
+class TestCycleEnergySimulator:
+    def test_fc_gate_cycle_energy_is_constant_after_warmup(self, and2_fc, technology):
+        simulator = CycleEnergySimulator(and2_fc, technology)
+        events = list(complementary_assignments(["A", "B"])) * 3
+        energies = [simulator.step(event).energy for event in events]
+        steady = energies[1:]
+        assert max(steady) == pytest.approx(min(steady))
+
+    def test_genuine_gate_exhibits_memory_effect(self, and2_genuine, technology):
+        simulator = CycleEnergySimulator(and2_genuine, technology)
+        # (1,1) discharges the internal node W; a following (0,0) leaves it
+        # discharged and floating, so the W recharge only happens when it
+        # is reconnected -- the per-cycle energy depends on the history.
+        first = simulator.step({"A": True, "B": True})
+        second = simulator.step({"A": False, "B": False})
+        third = simulator.step({"A": True, "B": True})
+        assert third.energy > second.energy
+        assert second.recharged_internal_nodes == frozenset()
+
+    def test_energy_depends_on_history_not_only_current_input(self, and2_genuine, technology):
+        simulator = CycleEnergySimulator(and2_genuine, technology)
+        simulator.step({"A": True, "B": True})
+        after_discharging_history = simulator.step({"A": True, "B": False}).energy
+        simulator.reset()
+        simulator.step({"A": False, "B": False})
+        after_floating_history = simulator.step({"A": True, "B": False}).energy
+        assert after_discharging_history >= after_floating_history
+
+    def test_reset_restores_initial_state(self, and2_genuine, technology):
+        simulator = CycleEnergySimulator(and2_genuine, technology)
+        first_run = [simulator.step({"A": True, "B": True}).energy for _ in range(2)]
+        simulator.reset()
+        second_run = [simulator.step({"A": True, "B": True}).energy for _ in range(2)]
+        assert first_run == second_run
+
+    def test_run_helper(self, and2_fc, technology):
+        simulator = CycleEnergySimulator(and2_fc, technology)
+        records = simulator.run(list(complementary_assignments(["A", "B"])))
+        assert len(records) == 4
+        assert [record.cycle for record in records] == [0, 1, 2, 3]
+
+
+class TestWaveforms:
+    def test_trace_integral_of_constant(self):
+        trace = Trace("i", np.linspace(0, 1e-9, 101), np.full(101, 2e-6))
+        assert trace.integral() == pytest.approx(2e-15, rel=1e-6)
+
+    def test_trace_window_and_at(self):
+        trace = Trace("v", np.linspace(0.0, 1.0, 11), np.linspace(0.0, 1.0, 11))
+        assert trace.at(0.55) == pytest.approx(0.55)
+        window = trace.window(0.2, 0.4)
+        assert window.times[0] >= 0.2 and window.times[-1] <= 0.4
+
+    def test_rms_difference_of_identical_traces_is_zero(self):
+        times = np.linspace(0, 1, 50)
+        trace = Trace("a", times, np.sin(times))
+        assert trace.rms_difference(Trace("b", times, np.sin(times))) == pytest.approx(0.0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.array([0.0, 1.0]), np.array([0.0]))
+
+    def test_waveform_set_supply_energy(self):
+        times = np.linspace(0, 1e-9, 101)
+        current = np.full(101, 1e-6)
+        waveforms = WaveformSet.from_arrays(times, {"i_VDD": current})
+        assert waveforms.supply_charge("i_VDD") == pytest.approx(1e-15, rel=1e-6)
+        assert waveforms.supply_energy(1.8, "i_VDD") == pytest.approx(1.8e-15, rel=1e-6)
+
+    def test_waveform_set_membership(self):
+        waveforms = WaveformSet.from_arrays([0.0, 1.0], {"v": [0.0, 1.0]})
+        assert "v" in waveforms and "missing" not in waveforms
+        assert waveforms.names() == ["v"]

@@ -1,0 +1,117 @@
+"""Unit tests for the switched-resistor transient engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.electrical import SwitchedRCCircuit, generic_180nm
+
+
+@pytest.fixture
+def technology():
+    return generic_180nm()
+
+
+class TestRCDischarge:
+    def test_single_rc_discharge_matches_analytic_solution(self, technology):
+        """A charged capacitor through a fixed resistor follows exp(-t/RC)."""
+        resistance, capacitance = 10e3, 10e-15
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", capacitance, initial=technology.vdd)
+        circuit.add_supply("GND", 0.0)
+        circuit.add_resistor("R1", "a", "GND", resistance)
+        tau = resistance * capacitance
+        waveforms = circuit.simulate(5 * tau, time_step=tau / 200)
+        trace = waveforms["a"]
+        for fraction in (0.5, 1.0, 2.0, 3.0):
+            expected = technology.vdd * math.exp(-fraction)
+            assert trace.at(fraction * tau) == pytest.approx(expected, rel=0.05)
+
+    def test_charge_conservation_from_supply(self, technology):
+        """Charging a capacitor from VDD draws exactly C*VDD from the supply."""
+        capacitance = 20e-15
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", capacitance, initial=0.0)
+        circuit.add_supply("VDD", technology.vdd)
+        circuit.add_resistor("R1", "VDD", "a", 5e3)
+        waveforms = circuit.simulate(50e-9, time_step=10e-12)
+        delivered = waveforms.supply_charge("i_VDD")
+        assert delivered == pytest.approx(capacitance * technology.vdd, rel=0.02)
+
+    def test_isolated_node_holds_its_voltage(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("float", 1e-15, initial=1.0)
+        circuit.add_supply("GND", 0.0)
+        circuit.add_node("other", 1e-15, initial=0.0)
+        circuit.add_resistor("R1", "other", "GND", 1e4)
+        waveforms = circuit.simulate(10e-9, time_step=20e-12)
+        assert waveforms["float"].values[-1] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSwitchBehaviour:
+    def test_nmos_switch_requires_gate_above_threshold(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 10e-15, initial=technology.vdd)
+        circuit.add_supply("GND", 0.0)
+        # Gate waveform: low for the first half, high for the second half.
+        def gate(t):
+            return 0.0 if t < 5e-9 else technology.vdd
+        circuit.add_switch("MN", "a", "GND", 5e3, kind="nmos", gate=gate)
+        waveforms = circuit.simulate(10e-9, time_step=10e-12)
+        midpoint = waveforms["a"].at(4.9e-9)
+        end = waveforms["a"].values[-1]
+        assert midpoint == pytest.approx(technology.vdd, abs=0.05)
+        assert end < 0.05
+
+    def test_pmos_switch_conducts_when_gate_low(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 10e-15, initial=0.0)
+        circuit.add_supply("VDD", technology.vdd)
+        def gate(t):
+            return technology.vdd if t < 5e-9 else 0.0
+        circuit.add_switch("MP", "VDD", "a", 10e3, kind="pmos", gate=gate)
+        waveforms = circuit.simulate(10e-9, time_step=10e-12)
+        assert waveforms["a"].at(4.9e-9) < 0.05
+        assert waveforms["a"].values[-1] > technology.vdd - 0.05
+
+    def test_voltage_controlled_gate_from_another_node(self, technology):
+        # An NMOS whose gate is another circuit node switches on once that
+        # node is charged above the threshold.
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("gate_node", 5e-15, initial=0.0)
+        circuit.add_node("victim", 5e-15, initial=technology.vdd)
+        circuit.add_supply("VDD", technology.vdd)
+        circuit.add_supply("GND", 0.0)
+        circuit.add_resistor("Rg", "VDD", "gate_node", 20e3)
+        circuit.add_switch("MN", "victim", "GND", 5e3, kind="nmos", gate="gate_node")
+        waveforms = circuit.simulate(20e-9, time_step=10e-12)
+        assert waveforms["victim"].values[-1] < 0.1
+
+    def test_unknown_kind_rejected(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 1e-15)
+        circuit.add_supply("GND", 0.0)
+        with pytest.raises(ValueError):
+            circuit.add_switch("M", "a", "GND", 1e3, kind="njfet", gate=lambda t: 0.0)
+
+    def test_switch_requires_gate(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 1e-15)
+        circuit.add_supply("GND", 0.0)
+        with pytest.raises(ValueError):
+            circuit.add_switch("M", "a", "GND", 1e3, kind="nmos")
+
+    def test_unknown_node_rejected(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 1e-15)
+        with pytest.raises(KeyError):
+            circuit.add_resistor("R", "a", "missing", 1e3)
+
+    def test_non_positive_capacitance_rejected(self, technology):
+        circuit = SwitchedRCCircuit(technology)
+        circuit.add_node("a", 0.0)
+        circuit.add_supply("GND", 0.0)
+        circuit.add_resistor("R", "a", "GND", 1e3)
+        with pytest.raises(ValueError):
+            circuit.simulate(1e-9)

@@ -1,0 +1,153 @@
+"""Integration tests mirroring each figure of the paper (fast versions).
+
+The benchmarks under ``benchmarks/`` regenerate the full tables; these
+tests assert the *shape* of every claim end-to-end so a plain ``pytest``
+run already validates the reproduction.
+"""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import (
+    build_cell,
+    CellSpec,
+    enhance_fc_dpdn,
+    synthesize_fc_dpdn,
+    transform_to_fc,
+    verify_gate,
+)
+from repro.electrical import EventEnergyModel, generic_180nm
+from repro.network import (
+    build_genuine_dpdn,
+    complementary_assignments,
+    evaluation_depths,
+    floating_internal_nodes,
+    is_fully_connected,
+)
+from repro.power import energy_statistics
+from repro.sabl import CVSLGate, SABLGate
+
+
+@pytest.fixture(scope="module")
+def and2():
+    return parse("A & B")
+
+
+@pytest.fixture(scope="module")
+def and2_genuine(and2):
+    return build_genuine_dpdn(and2, name="AND2_genuine")
+
+
+@pytest.fixture(scope="module")
+def and2_fc(and2):
+    return synthesize_fc_dpdn(and2, name="AND2_fc")
+
+
+class TestFig2Connectivity:
+    """Fig. 2: genuine vs fully connected AND-NAND."""
+
+    def test_genuine_network_has_a_floating_node_for_00(self, and2_genuine):
+        assert floating_internal_nodes(and2_genuine, {"A": False, "B": False})
+
+    def test_fully_connected_network_never_floats(self, and2_fc):
+        for event in complementary_assignments(["A", "B"]):
+            assert not floating_internal_nodes(and2_fc, event)
+
+    def test_repositioning_one_transistor_fixes_the_genuine_network(self, and2, and2_genuine):
+        transformed = transform_to_fc(and2_genuine)
+        assert is_fully_connected(transformed)
+        assert transformed.device_count() == and2_genuine.device_count()
+        assert verify_gate(transformed, and2).passed
+
+
+class TestFig3TransientWaveforms:
+    """Fig. 3: supply current and outputs independent of the input event."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        technology = generic_180nm().scaled(time_step=10e-12)
+        gate = SABLGate(synthesize_fc_dpdn(parse("A & B")), technology)
+        return {
+            "01": gate.transient([{"A": False, "B": True}] * 2),
+            "11": gate.transient([{"A": True, "B": True}] * 2),
+        }
+
+    def test_steady_state_supply_charge_is_event_independent(self, results):
+        assert results["01"].cycle_charges[-1] == pytest.approx(
+            results["11"].cycle_charges[-1], rel=0.02
+        )
+
+    def test_supply_current_waveform_shape_is_event_independent(self, results):
+        difference = results["01"].supply_current().rms_difference(
+            results["11"].supply_current()
+        )
+        assert difference < 0.05 * results["11"].supply_current().peak()
+
+
+class TestFig4DischargedCapacitance:
+    """Fig. 4: total discharged capacitance equal for every input event."""
+
+    def test_fc_capacitance_constant_and_genuine_varies(self, and2_fc, and2_genuine):
+        technology = generic_180nm()
+        fc_model = EventEnergyModel(and2_fc, technology)
+        genuine_model = EventEnergyModel(and2_genuine, technology)
+        fc_caps = {
+            round(fc_model.discharged_capacitance(event) * 1e18)
+            for event in complementary_assignments(["A", "B"])
+        }
+        genuine_caps = {
+            round(genuine_model.discharged_capacitance(event) * 1e18)
+            for event in complementary_assignments(["A", "B"])
+        }
+        assert len(fc_caps) == 1
+        assert len(genuine_caps) > 1
+
+
+class TestFig5DesignExample:
+    """Fig. 5: the OAI22 network is fully connected after either method."""
+
+    def test_both_methods_produce_valid_fully_connected_networks(self):
+        function = parse("((A | B) & (C | D))'")
+        genuine = build_genuine_dpdn(function)
+        by_transform = transform_to_fc(genuine)
+        by_synthesis = synthesize_fc_dpdn(function)
+        for network in (by_transform, by_synthesis):
+            assert is_fully_connected(network)
+            assert verify_gate(network, function).passed
+            assert network.device_count() == genuine.device_count()
+
+
+class TestFig6EnhancedNetwork:
+    """Fig. 6: pass-gate insertion gives constant depth, no early propagation."""
+
+    def test_enhanced_and_nand(self, and2, and2_fc):
+        enhanced = enhance_fc_dpdn(and2_fc)
+        assert enhanced.device_count() == and2_fc.device_count() + 2
+        assert set(evaluation_depths(enhanced).values()) == {2}
+        report = verify_gate(
+            enhanced, and2, require_constant_depth=True, require_no_early_propagation=True
+        )
+        assert report.passed
+
+
+class TestInTextCvslVariation:
+    """Section 2: CVSL AND-NAND power variation vs constant SABL-FC power."""
+
+    def test_cvsl_varies_and_fc_does_not(self, and2_genuine, and2_fc):
+        # A small output load makes the internal-node contribution visible,
+        # as in the paper's discussion of the memory effect.
+        technology = generic_180nm()
+        cvsl = CVSLGate(and2_genuine, technology, output_load=1e-15)
+        sabl = SABLGate(and2_fc, technology, output_load=1e-15)
+        cvsl_stats = energy_statistics([r.energy for r in cvsl.energy_sweep()])
+        sabl_stats = energy_statistics([r.energy for r in sabl.energy_sweep()])
+        assert cvsl_stats.ned > 0.10
+        assert sabl_stats.ned == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLibraryFlowEndToEnd:
+    def test_building_a_paper_cell_end_to_end(self):
+        cell = build_cell(CellSpec("OAI22", "((A | B) & (C | D))'"))
+        assert is_fully_connected(cell.fully_connected)
+        assert cell.transformed is not None
+        assert cell.enhanced.device_count() >= cell.fully_connected.device_count()

@@ -1,0 +1,80 @@
+"""Unit tests for genuine (series/parallel) DPDN construction."""
+
+import pytest
+
+from repro.boolexpr import complement, parse, to_nnf
+from repro.network import (
+    build_branch,
+    build_dpdn_from_branches,
+    build_genuine_dpdn,
+    realized_function,
+)
+
+
+def branch_function_table(dpdn, expected):
+    """Helper: compare branch conduction against the expected function."""
+    table = realized_function(dpdn)
+    for assignment, (x_on, y_on) in table.items():
+        env = dict(assignment)
+        assert x_on == bool(expected.evaluate(env)), assignment
+        assert y_on == (not x_on), assignment
+
+
+class TestGenuineConstruction:
+    def test_and2_structure_matches_fig2_left(self, and2_genuine):
+        # X--[A]--W--[B]--Z  plus  Y--[~A]--Z || Y--[~B]--Z
+        assert and2_genuine.device_count() == 4
+        assert len(and2_genuine.internal_nodes()) == 1
+
+    def test_and2_function(self, and2, and2_genuine):
+        branch_function_table(and2_genuine, and2)
+
+    def test_or2_has_no_internal_node_on_true_branch(self):
+        dpdn = build_genuine_dpdn(parse("A | B"))
+        # The OR branch is parallel (no internal node); the complement
+        # branch ~A & ~B is a 2-stack with one internal node.
+        assert len(dpdn.internal_nodes()) == 1
+
+    def test_device_count_equals_literal_counts(self, representative_function):
+        name, function = representative_function
+        nnf = to_nnf(function)
+        dpdn = build_genuine_dpdn(function, name=name)
+        expected = nnf.literal_count() + complement(nnf).literal_count()
+        assert dpdn.device_count() == expected
+
+    def test_function_realised_for_representative_cells(self, representative_function):
+        name, function = representative_function
+        dpdn = build_genuine_dpdn(function, name=name)
+        branch_function_table(dpdn, function)
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            build_genuine_dpdn(parse("A & ~A & 0"))
+
+
+class TestBranchBuilder:
+    def test_single_literal_branch(self):
+        branch = build_branch(parse("A"))
+        assert branch.device_count() == 1
+
+    def test_series_branch_creates_internal_nodes(self):
+        branch = build_branch(parse("A & B & C"))
+        assert branch.device_count() == 3
+        assert len(branch.internal_nodes()) == 2
+
+    def test_parallel_branch_creates_no_internal_nodes(self):
+        branch = build_branch(parse("A | B | C"))
+        assert branch.device_count() == 3
+        assert branch.internal_nodes() == []
+
+
+class TestCustomBranches:
+    def test_build_from_explicit_branches(self):
+        dpdn = build_dpdn_from_branches(parse("A & B"), parse("~A | ~B"))
+        branch_function_table(dpdn, parse("A & B"))
+
+    def test_mismatched_branches_detected_by_verifier(self):
+        from repro.core import check_differential_function
+
+        broken = build_dpdn_from_branches(parse("A & B"), parse("~A & ~B"))
+        assert not check_differential_function(broken, parse("A & B")).passed

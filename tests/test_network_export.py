@@ -1,0 +1,59 @@
+"""Unit tests for netlist export."""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import synthesize_fc_dpdn
+from repro.network import build_genuine_dpdn, to_dot, to_edge_list, to_spice_subckt
+
+
+class TestSpiceExport:
+    def test_subckt_header_and_ports(self, and2_fc):
+        deck = to_spice_subckt(and2_fc, name="AND2_FC")
+        assert ".subckt AND2_FC" in deck
+        assert ".ends AND2_FC" in deck
+        # Ports: X, Y, Z plus both rails of each input.
+        header = [line for line in deck.splitlines() if line.startswith(".subckt")][0]
+        for port in ("X", "Y", "Z", "A", "A_b", "B", "B_b"):
+            assert f" {port}" in header
+
+    def test_one_device_line_per_transistor(self, and2_fc):
+        deck = to_spice_subckt(and2_fc)
+        device_lines = [line for line in deck.splitlines() if line.startswith("M")]
+        assert len(device_lines) == and2_fc.device_count()
+
+    def test_width_scaling(self):
+        dpdn = build_genuine_dpdn(parse("A"))
+        deck = to_spice_subckt(dpdn, width_um=1.0)
+        assert "W=1.000u" in deck
+
+    def test_function_comment_present(self, and2_fc):
+        assert "function" in to_spice_subckt(and2_fc)
+
+
+class TestDotExport:
+    def test_contains_every_node_and_edge(self, and2_fc):
+        dot = to_dot(and2_fc)
+        for node in and2_fc.nodes():
+            assert f'"{node}"' in dot
+        assert dot.count("--") == and2_fc.device_count()
+
+    def test_highlighting(self, and2_genuine):
+        dot = to_dot(and2_genuine, highlight_nodes=and2_genuine.internal_nodes())
+        assert "fillcolor" in dot
+
+    def test_external_nodes_are_boxes(self, and2_fc):
+        assert "shape=box" in to_dot(and2_fc)
+
+
+class TestEdgeList:
+    def test_edge_list_round_trip_information(self, and2_fc):
+        edges = to_edge_list(and2_fc)
+        assert len(edges) == and2_fc.device_count()
+        first = edges[0]
+        assert set(first) == {"name", "gate", "variable", "polarity", "drain", "source"}
+
+    def test_polarity_field(self):
+        dpdn = synthesize_fc_dpdn(parse("~A & B"))
+        polarities = {(edge["variable"], edge["polarity"]) for edge in to_edge_list(dpdn)}
+        assert ("A", "false") in polarities and ("A", "true") in polarities

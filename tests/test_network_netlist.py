@@ -1,0 +1,156 @@
+"""Unit tests for the switch-level netlist data structures."""
+
+import pytest
+
+from repro.boolexpr import Not, Var
+from repro.network import DifferentialPullDownNetwork, Literal, NodeNameAllocator, Transistor
+
+
+class TestLiteral:
+    def test_complement(self):
+        literal = Literal("A", True)
+        assert literal.complement() == Literal("A", False)
+        assert literal.complement().complement() == literal
+
+    def test_evaluate_both_rails(self):
+        assert Literal("A", True).evaluate({"A": True}) is True
+        assert Literal("A", False).evaluate({"A": True}) is False
+        assert Literal("A", False).evaluate({"A": False}) is True
+
+    def test_to_and_from_expr(self):
+        assert Literal.from_expr(Var("A")) == Literal("A", True)
+        assert Literal.from_expr(Not(Var("A"))) == Literal("A", False)
+        assert Literal("B", False).to_expr() == Not(Var("B"))
+
+    def test_from_expr_rejects_compound(self):
+        with pytest.raises(ValueError):
+            Literal.from_expr(Var("A") & Var("B"))
+
+    def test_rail_name(self):
+        assert Literal("A", True).rail_name == "A"
+        assert Literal("A", False).rail_name == "A_b"
+
+
+class TestTransistor:
+    def test_conducts_follows_gate(self):
+        device = Transistor("M1", Literal("A", True), "X", "n1")
+        assert device.conducts({"A": True})
+        assert not device.conducts({"A": False})
+
+    def test_other_terminal(self):
+        device = Transistor("M1", Literal("A", True), "X", "n1")
+        assert device.other_terminal("X") == "n1"
+        assert device.other_terminal("n1") == "X"
+        with pytest.raises(ValueError):
+            device.other_terminal("Z")
+
+    def test_with_terminals_preserves_metadata(self):
+        device = Transistor("M1", Literal("A", True), "X", "n1", width=2.0, role="dummy")
+        moved = device.with_terminals("X", "n2")
+        assert moved.width == 2.0 and moved.role == "dummy" and moved.gate == device.gate
+
+
+class TestNodeNameAllocator:
+    def test_fresh_skips_existing(self):
+        allocator = NodeNameAllocator(["n1", "n2"])
+        assert allocator.fresh() == "n3"
+
+    def test_reserve(self):
+        allocator = NodeNameAllocator()
+        allocator.reserve("n1")
+        assert allocator.fresh() == "n2"
+
+
+class TestDifferentialPullDownNetwork:
+    def build_simple(self):
+        dpdn = DifferentialPullDownNetwork("test", function=Var("A"))
+        dpdn.add_transistor(Literal("A", True), "X", "Z")
+        dpdn.add_transistor(Literal("A", False), "Y", "Z")
+        return dpdn
+
+    def test_external_nodes_must_differ(self):
+        with pytest.raises(ValueError):
+            DifferentialPullDownNetwork(x="X", y="X", z="Z")
+
+    def test_nodes_and_internal_nodes(self):
+        dpdn = self.build_simple()
+        dpdn.add_transistor(Literal("B", True), "X", "n1")
+        assert set(dpdn.nodes()) == {"X", "Y", "Z", "n1"}
+        assert dpdn.internal_nodes() == ["n1"]
+
+    def test_variables_sorted(self):
+        dpdn = self.build_simple()
+        dpdn.add_transistor(Literal("C", True), "X", "n1")
+        dpdn.add_transistor(Literal("B", False), "n1", "Z")
+        assert dpdn.variables() == ["A", "B", "C"]
+
+    def test_duplicate_device_name_rejected(self):
+        dpdn = self.build_simple()
+        with pytest.raises(ValueError):
+            dpdn.add_transistor(Literal("B", True), "X", "Z", name="M1")
+
+    def test_shorted_device_rejected(self):
+        dpdn = self.build_simple()
+        with pytest.raises(ValueError):
+            dpdn.add_transistor(Literal("B", True), "X", "X")
+
+    def test_remove_transistor(self):
+        dpdn = self.build_simple()
+        removed = dpdn.remove_transistor("M1")
+        assert removed.name == "M1"
+        assert dpdn.device_count() == 1
+        with pytest.raises(KeyError):
+            dpdn.remove_transistor("M1")
+
+    def test_move_terminal(self):
+        dpdn = self.build_simple()
+        dpdn.add_transistor(Literal("B", True), "X", "n1", name="MB")
+        moved = dpdn.move_terminal("MB", "X", "Y")
+        assert moved.terminals() == ("Y", "n1")
+        assert dpdn.get_transistor("MB").touches("Y")
+
+    def test_move_terminal_rejects_short(self):
+        dpdn = self.build_simple()
+        with pytest.raises(ValueError):
+            dpdn.move_terminal("M1", "X", "Z")
+
+    def test_move_terminal_rejects_unknown_node(self):
+        dpdn = self.build_simple()
+        with pytest.raises(ValueError):
+            dpdn.move_terminal("M1", "n9", "Y")
+
+    def test_copy_is_independent(self):
+        dpdn = self.build_simple()
+        duplicate = dpdn.copy()
+        duplicate.add_transistor(Literal("B", True), "X", "n1")
+        assert dpdn.device_count() == 2
+        assert duplicate.device_count() == 3
+
+    def test_renamed_nodes(self):
+        dpdn = self.build_simple()
+        renamed = dpdn.renamed_nodes({"X": "top", "Z": "gnd"})
+        assert renamed.x == "top" and renamed.z == "gnd"
+        assert {t.drain for t in renamed.transistors} == {"top", "Y"}
+
+    def test_conducting_transistors(self):
+        dpdn = self.build_simple()
+        conducting = dpdn.conducting_transistors({"A": True})
+        assert [t.name for t in conducting] == ["M1"]
+
+    def test_adjacency_with_and_without_assignment(self):
+        dpdn = self.build_simple()
+        full = dpdn.adjacency()
+        assert len(full["Z"]) == 2
+        conducting = dpdn.adjacency({"A": False})
+        assert len(conducting["Z"]) == 1
+
+    def test_describe_and_repr(self):
+        dpdn = self.build_simple()
+        text = dpdn.describe()
+        assert "M1" in text and "A_b" in text
+        assert "devices=2" in repr(dpdn)
+
+    def test_iteration_and_len(self):
+        dpdn = self.build_simple()
+        assert len(dpdn) == 2
+        assert [t.name for t in dpdn] == ["M1", "M2"]

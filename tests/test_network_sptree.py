@@ -1,0 +1,119 @@
+"""Unit tests for series-parallel tree extraction."""
+
+import pytest
+
+from repro.boolexpr import complement, equivalent, parse
+from repro.core import synthesize_fc_dpdn
+from repro.network import (
+    NotSeriesParallelError,
+    SPLeaf,
+    SPParallel,
+    SPSeries,
+    branch_devices,
+    branch_trees,
+    build_branch,
+    build_genuine_dpdn,
+    extract_sp_tree,
+)
+
+
+def extract_branch_tree(expression_text):
+    branch = build_branch(parse(expression_text), top="TOP", bottom="BOT")
+    return extract_sp_tree(list(branch.transistors), "TOP", "BOT")
+
+
+class TestExtraction:
+    def test_single_device_is_a_leaf(self):
+        tree = extract_branch_tree("A")
+        assert isinstance(tree, SPLeaf)
+        assert tree.top == "TOP" and tree.bottom == "BOT"
+
+    def test_series_stack(self):
+        tree = extract_branch_tree("A & B & C")
+        assert isinstance(tree, SPSeries)
+        assert len(tree.children) == 3
+        assert len(tree.joints) == 2
+        assert all(isinstance(child, SPLeaf) for child in tree.children)
+
+    def test_parallel_network(self):
+        tree = extract_branch_tree("A | B | C")
+        assert isinstance(tree, SPParallel)
+        assert len(tree.children) == 3
+
+    def test_nested_structure(self):
+        tree = extract_branch_tree("(A | B) & (C | D)")
+        assert isinstance(tree, SPSeries)
+        assert all(isinstance(child, SPParallel) for child in tree.children)
+
+    def test_tree_function_matches_expression(self):
+        for text in ("A & B", "A | (B & C)", "(A | B) & (C | D)", "A & (B | (C & D))"):
+            tree = extract_branch_tree(text)
+            assert equivalent(tree.function(), parse(text)), text
+
+    def test_device_partition(self):
+        tree = extract_branch_tree("(A | B) & C")
+        assert len(tree.devices()) == 3
+        assert len(tree.device_names()) == 3
+
+    def test_reversed_swaps_terminals_and_preserves_function(self):
+        tree = extract_branch_tree("(A | B) & (C | D)")
+        flipped = tree.reversed()
+        assert flipped.top == tree.bottom and flipped.bottom == tree.top
+        assert equivalent(flipped.function(), tree.function())
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(NotSeriesParallelError):
+            extract_sp_tree([], "TOP", "BOT")
+
+    def test_non_series_parallel_branch_rejected(self):
+        # A Wheatstone-bridge graph is the canonical non-series-parallel
+        # two-terminal network and must be rejected.
+        from repro.network import DifferentialPullDownNetwork, Literal
+
+        bridge = DifferentialPullDownNetwork("bridge", x="TOP", y="__y__", z="BOT")
+        bridge.add_transistor(Literal("A", True), "TOP", "n1")
+        bridge.add_transistor(Literal("B", True), "TOP", "n2")
+        bridge.add_transistor(Literal("C", True), "n1", "n2")
+        bridge.add_transistor(Literal("D", True), "n1", "BOT")
+        bridge.add_transistor(Literal("E", True), "n2", "BOT")
+        with pytest.raises(NotSeriesParallelError):
+            extract_sp_tree(list(bridge.transistors), "TOP", "BOT")
+
+    def test_fc_network_extracted_as_whole_realises_the_function(self):
+        # Taken as a single two-terminal graph between X and Z, the fully
+        # connected AND2 network still reduces and realises A & B -- the
+        # sharing is what makes the per-branch split (branch_devices) fail.
+        fc = synthesize_fc_dpdn(parse("A & B"))
+        tree = extract_sp_tree(list(fc.transistors), fc.x, fc.z)
+        assert equivalent(tree.function(), parse("A & B"))
+
+
+class TestBranchSplitting:
+    def test_branches_of_genuine_network_partition_devices(self):
+        dpdn = build_genuine_dpdn(parse("(A | B) & C"))
+        x_branch, y_branch = branch_devices(dpdn)
+        assert len(x_branch) + len(y_branch) == dpdn.device_count()
+        assert {d.name for d in x_branch} & {d.name for d in y_branch} == set()
+
+    def test_branch_trees_are_dual_functions(self):
+        dpdn = build_genuine_dpdn(parse("(A & B) | (C & D)"))
+        x_tree, y_tree = branch_trees(dpdn)
+        assert equivalent(complement(x_tree.function()), y_tree.function())
+
+    def test_fully_connected_network_rejected(self):
+        fc = synthesize_fc_dpdn(parse("A & B"))
+        with pytest.raises(ValueError):
+            branch_devices(fc)
+
+
+class TestNodeValidation:
+    def test_series_requires_matching_joints(self):
+        tree = extract_branch_tree("A & B")
+        assert isinstance(tree, SPSeries)
+        with pytest.raises(ValueError):
+            SPSeries(children=tree.children, joints=(), top=tree.top, bottom=tree.bottom)
+
+    def test_parallel_requires_two_children(self):
+        leaf = extract_branch_tree("A")
+        with pytest.raises(ValueError):
+            SPParallel(children=(leaf,), top="TOP", bottom="BOT")

@@ -1,0 +1,73 @@
+"""Unit tests for the reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.electrical import Trace
+from repro.reporting import (
+    ExperimentResult,
+    ascii_plot,
+    ascii_waveform,
+    format_experiment_results,
+    format_table,
+)
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["cell", "devices"], [["AND2", 4], ["OAI22", 8]], title="Library"
+        )
+        assert "Library" in text
+        assert "AND2" in text and "OAI22" in text
+        lines = text.splitlines()
+        header_index = next(i for i, line in enumerate(lines) if line.startswith("cell"))
+        assert set(lines[header_index + 1]) <= {"-", " "}
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["name"], [["a-very-long-cell-name"]])
+        assert "a-very-long-cell-name" in text
+
+
+class TestAsciiPlots:
+    def test_plot_contains_extrema(self):
+        text = ascii_plot([0.0, 1.0, 2.0, 3.0], label="ramp")
+        assert "ramp" in text and "max" in text and "min" in text
+        assert "*" in text
+
+    def test_long_series_is_downsampled(self):
+        text = ascii_plot(np.sin(np.linspace(0, 10, 5000)), width=60)
+        longest_line = max(len(line) for line in text.splitlines())
+        assert longest_line <= 70
+
+    def test_empty_series(self):
+        assert "empty" in ascii_plot([])
+
+    def test_waveform_wrapper(self):
+        trace = Trace("i_VDD", np.linspace(0, 1e-9, 20), np.linspace(0, 1e-6, 20))
+        text = ascii_waveform(trace)
+        assert "i_VDD" in text and "ns" in text
+
+
+class TestExperimentResults:
+    def test_describe_and_format(self):
+        result = ExperimentResult(
+            experiment_id="fig4",
+            description="discharged capacitance per input event",
+            paper_value="19.32 fF vs 19.38 fF",
+            measured_value="20.20 fF vs 20.20 fF",
+            matches_shape=True,
+            notes="generic technology card",
+        )
+        text = result.describe()
+        assert "fig4" in text and "shape reproduced" in text and "generic" in text
+        combined = format_experiment_results([result, result])
+        assert combined.count("fig4") == 2
+
+    def test_mismatch_is_flagged(self):
+        result = ExperimentResult("x", "d", "1", "2", matches_shape=False)
+        assert "MISMATCH" in result.describe()

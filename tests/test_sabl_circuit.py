@@ -1,0 +1,146 @@
+"""Unit tests for gate-level circuits, technology mapping and the power simulator."""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import synthesize_fc_dpdn
+from repro.network import is_fully_connected
+from repro.power.crypto import bits_of, keyed_sbox_expressions, present_sbox_lookup
+from repro.sabl import (
+    CircuitPowerSimulator,
+    Connection,
+    DifferentialCircuit,
+    GateInstance,
+    map_expressions,
+)
+
+
+class TestDifferentialCircuit:
+    def build_half_adder(self):
+        expressions = {"sum": parse("A ^ B"), "carry": parse("A & B")}
+        return map_expressions(expressions, max_fanin=2, name="half_adder")
+
+    def test_evaluation_matches_expressions(self):
+        circuit = self.build_half_adder()
+        for a in (False, True):
+            for b in (False, True):
+                outputs = circuit.evaluate({"A": a, "B": b})
+                assert outputs["sum"] == (a ^ b)
+                assert outputs["carry"] == (a and b)
+
+    def test_fanin_bound_is_respected(self):
+        circuit = map_expressions({"y": parse("A & B & C & D & E")}, max_fanin=2)
+        for gate in circuit.gates:
+            assert len(gate.connections) <= 2
+
+    def test_fc_style_produces_fully_connected_gates(self):
+        circuit = map_expressions({"y": parse("(A & B) | C")}, network_style="fc")
+        assert all(is_fully_connected(gate.dpdn) for gate in circuit.gates)
+
+    def test_genuine_style_produces_leaky_gates(self):
+        circuit = map_expressions({"y": parse("(A & B) | (C & D)")}, network_style="genuine")
+        assert any(not is_fully_connected(gate.dpdn) for gate in circuit.gates)
+
+    def test_inverted_output_handled_with_buffer(self):
+        circuit = map_expressions({"y": parse("~A")})
+        assert circuit.evaluate({"A": True})["y"] is False
+        assert circuit.evaluate({"A": False})["y"] is True
+
+    def test_undriven_net_rejected(self):
+        circuit = DifferentialCircuit(["A"])
+        gate = GateInstance(
+            name="g1",
+            dpdn=synthesize_fc_dpdn(parse("in0 & in1")),
+            connections={"in0": Connection("A"), "in1": Connection("missing")},
+            output_net="n1",
+        )
+        with pytest.raises(ValueError):
+            circuit.add_gate(gate)
+
+    def test_double_driver_rejected(self):
+        circuit = map_expressions({"y": parse("A & B")})
+        duplicate = circuit.gates[0]
+        with pytest.raises(ValueError):
+            circuit.add_gate(duplicate)
+
+    def test_missing_primary_input_rejected(self):
+        circuit = map_expressions({"y": parse("A & B")})
+        with pytest.raises(ValueError):
+            circuit.evaluate({"A": True})
+
+    def test_describe_lists_gates_and_outputs(self):
+        circuit = self.build_half_adder()
+        text = circuit.describe()
+        assert "output sum" in text and "gates" in text
+
+    def test_invalid_mapper_arguments(self):
+        with pytest.raises(ValueError):
+            map_expressions({"y": parse("A & B")}, max_fanin=1)
+        with pytest.raises(ValueError):
+            map_expressions({"y": parse("A & B")}, network_style="unknown")
+
+
+class TestSboxCircuit:
+    @pytest.fixture(scope="class")
+    def sbox_circuit(self):
+        return map_expressions(
+            keyed_sbox_expressions(0x5),
+            primary_inputs=[f"p{i}" for i in range(4)],
+            max_fanin=3,
+            network_style="fc",
+        )
+
+    def test_sbox_circuit_matches_table(self, sbox_circuit):
+        for plaintext in range(16):
+            vector = {f"p{i}": bit for i, bit in enumerate(bits_of(plaintext, 4))}
+            outputs = sbox_circuit.evaluate(vector)
+            value = sum(int(outputs[f"y{bit}"]) << bit for bit in range(4))
+            assert value == present_sbox_lookup(plaintext ^ 0x5)
+
+    def test_device_count_is_reported(self, sbox_circuit):
+        assert sbox_circuit.device_count() > sbox_circuit.gate_count()
+
+
+class TestCircuitPowerSimulator:
+    def test_fc_circuit_energy_is_constant_after_warmup(self):
+        circuit = map_expressions({"y": parse("(A & B) | C")}, network_style="fc")
+        simulator = CircuitPowerSimulator(circuit)
+        vectors = [
+            {"A": a, "B": b, "C": c}
+            for a in (False, True)
+            for b in (False, True)
+            for c in (False, True)
+        ]
+        energies = simulator.energies(vectors * 2)
+        steady = energies[1:]
+        assert max(steady) == pytest.approx(min(steady))
+
+    def test_genuine_circuit_energy_varies(self):
+        circuit = map_expressions({"y": parse("(A & B) | (C & D)")}, network_style="genuine")
+        simulator = CircuitPowerSimulator(circuit)
+        vectors = [
+            {"A": a, "B": b, "C": c, "D": d}
+            for a in (False, True)
+            for b in (False, True)
+            for c in (False, True)
+            for d in (False, True)
+        ]
+        energies = simulator.energies(vectors * 2)
+        steady = energies[4:]
+        assert max(steady) > min(steady)
+
+    def test_records_carry_outputs_and_per_gate_breakdown(self):
+        circuit = map_expressions({"y": parse("A & B")}, network_style="fc")
+        simulator = CircuitPowerSimulator(circuit)
+        record = simulator.step({"A": True, "B": False})
+        assert record.outputs["y"] is False
+        assert sum(record.gate_energy.values()) == pytest.approx(record.total_energy)
+
+    def test_reset_reproduces_the_same_trace(self):
+        circuit = map_expressions({"y": parse("(A & B) | (C & D)")}, network_style="genuine")
+        simulator = CircuitPowerSimulator(circuit)
+        vectors = [{"A": True, "B": True, "C": False, "D": False}, {"A": False, "B": False, "C": True, "D": True}]
+        first = simulator.energies(vectors)
+        simulator.reset()
+        second = simulator.energies(vectors)
+        assert first == second

@@ -1,0 +1,132 @@
+"""Unit tests for the SABL and CVSL gate models, clocking and transients."""
+
+import pytest
+
+from repro.boolexpr import parse
+from repro.core import synthesize_fc_dpdn
+from repro.electrical import generic_180nm
+from repro.network import build_genuine_dpdn, complementary_assignments
+from repro.sabl import CVSLGate, PhaseSchedule, SABLGate, clock_waveform, input_rail_waveform
+
+
+@pytest.fixture(scope="module")
+def fast_technology():
+    """A coarse time-step card so transient tests stay quick."""
+    return generic_180nm().scaled(time_step=10e-12)
+
+
+class TestClocking:
+    def test_phase_schedule(self):
+        schedule = PhaseSchedule(generic_180nm())
+        period = schedule.period
+        assert schedule.phase_of(0.1 * period) == "precharge"
+        assert schedule.phase_of(0.6 * period) == "evaluation"
+        assert schedule.cycle_of(2.5 * period) == 2
+        assert schedule.evaluation_start(1) == pytest.approx(1.5 * period)
+
+    def test_clock_waveform_levels(self):
+        technology = generic_180nm()
+        clock = clock_waveform(technology, cycles=2)
+        assert clock(0.1 * technology.clock_period) == 0.0
+        assert clock(0.7 * technology.clock_period) == technology.vdd
+        assert clock(5 * technology.clock_period) == 0.0
+
+    def test_input_rails_are_zero_then_complementary(self):
+        technology = generic_180nm()
+        true_rail = input_rail_waveform([True, False], True, technology)
+        false_rail = input_rail_waveform([True, False], False, technology)
+        early = 0.1 * technology.half_period
+        late = 0.9 * technology.half_period
+        evaluation = 1.5 * technology.half_period
+        assert true_rail(early) == 0.0 and false_rail(early) == 0.0
+        assert true_rail(late) == technology.vdd and false_rail(late) == 0.0
+        assert true_rail(evaluation) == technology.vdd
+        # second cycle carries the value False
+        second_eval = technology.clock_period + 1.5 * technology.half_period
+        assert true_rail(second_eval) == 0.0 and false_rail(second_eval) == technology.vdd
+
+
+class TestSABLGateChargeView:
+    def test_fc_gate_constant_event_energy(self, and2_fc):
+        gate = SABLGate(and2_fc)
+        energies = [record.energy for record in gate.energy_sweep()]
+        assert max(energies) == pytest.approx(min(energies))
+
+    def test_genuine_gate_varies(self, and2_genuine):
+        gate = SABLGate(and2_genuine)
+        energies = [record.energy for record in gate.energy_sweep()]
+        assert max(energies) > min(energies)
+
+    def test_logic_output(self, and2_fc):
+        gate = SABLGate(and2_fc)
+        assert gate.logic_output({"A": True, "B": True}) is True
+        assert gate.logic_output({"A": True, "B": False}) is False
+
+    def test_cycle_simulator_accessor(self, and2_fc):
+        gate = SABLGate(and2_fc)
+        simulator = gate.cycle_simulator()
+        first = simulator.step({"A": True, "B": True})
+        assert first.energy > 0
+
+    def test_variables(self, and2_fc):
+        assert SABLGate(and2_fc).variables() == ["A", "B"]
+
+
+class TestSABLGateTransient:
+    @pytest.fixture(scope="class")
+    def transients(self, request):
+        technology = generic_180nm().scaled(time_step=10e-12)
+        gate = SABLGate(synthesize_fc_dpdn(parse("A & B"), name="AND2_fc"), technology)
+        events = {
+            "01": [{"A": False, "B": True}] * 2,
+            "11": [{"A": True, "B": True}] * 2,
+        }
+        return {key: gate.transient(value) for key, value in events.items()}
+
+    def test_outputs_resolve_differentially(self, transients):
+        for result in transients.values():
+            out, outb = result.output_traces()
+            finals = sorted([out.values[-1], outb.values[-1]])
+            assert finals[0] < 0.2
+            assert finals[1] > result.technology.vdd - 0.2
+
+    def test_opposite_inputs_steer_opposite_outputs(self, transients):
+        out01, _ = transients["01"].output_traces()
+        out11, _ = transients["11"].output_traces()
+        assert (out01.values[-1] > 1.0) != (out11.values[-1] > 1.0)
+
+    def test_supply_charge_is_input_independent(self, transients):
+        # Fig. 3/4: the charge drawn per steady-state cycle is (nearly)
+        # the same for the (0,1) and the (1,1) input events.
+        steady01 = transients["01"].cycle_charges[-1]
+        steady11 = transients["11"].cycle_charges[-1]
+        assert steady01 == pytest.approx(steady11, rel=0.02)
+
+    def test_supply_current_waveforms_nearly_identical(self, transients):
+        i01 = transients["01"].supply_current()
+        i11 = transients["11"].supply_current()
+        assert i01.rms_difference(i11) < 0.05 * i11.peak()
+
+    def test_describe(self, transients):
+        assert "cycle" in transients["11"].describe()
+
+
+class TestCVSLGate:
+    def test_genuine_cvsl_power_varies(self, and2_genuine):
+        gate = CVSLGate(and2_genuine)
+        energies = [record.energy for record in gate.energy_sweep()]
+        spread = (max(energies) - min(energies)) / max(energies)
+        assert spread > 0.05
+
+    def test_cvsl_transient_discharges_exactly_one_output(self, and2_genuine):
+        technology = generic_180nm().scaled(time_step=10e-12)
+        gate = CVSLGate(and2_genuine, technology)
+        result = gate.transient([{"A": True, "B": True}])
+        x_final = result.waveforms[and2_genuine.x].values[-1]
+        y_final = result.waveforms[and2_genuine.y].values[-1]
+        assert (x_final < 0.3) != (y_final < 0.3)
+
+    def test_cvsl_logic_and_variables(self, and2_genuine):
+        gate = CVSLGate(and2_genuine)
+        assert gate.variables() == ["A", "B"]
+        assert gate.logic_output({"A": True, "B": False}) is False
