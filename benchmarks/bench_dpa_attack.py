@@ -1,13 +1,12 @@
 """Extension B -- differential power analysis of a key-mixed S-box.
 
-The paper's motivation is DPA resistance.  This benchmark closes the loop:
-a PRESENT S-box with a secret key nibble folded in is built twice from
-the same expressions -- once with conventional (genuine) differential
-gates, once with fully connected gates -- and both are attacked with
-
-* standard CPA (Hamming-weight model) and single-bit DPA, and
-* a profiled CPA in which the adversary owns a perfect simulator of the
-  genuine logic style (the strongest realistic attack in this model).
+The paper's motivation is DPA resistance.  This benchmark closes the loop
+through the ``repro.flow`` pipeline: one :class:`~repro.flow.DesignFlow`
+per implementation (fully connected gates, conventional genuine gates,
+and the unprotected Hamming-weight reference model) runs the whole
+expr -> synthesis -> circuit -> trace campaign -> attack chain, and a
+profiled CPA (perfect simulator of the genuine logic style) is layered on
+the recorded campaigns.
 
 Expected shape: the genuine implementation leaks (its traces are data
 dependent and the profiled attack recovers the key), while the fully
@@ -17,18 +16,14 @@ measurement noise and resists every attack.
 
 import pytest
 
+from repro.flow import AnalysisConfig, CampaignConfig, DesignFlow, FlowConfig
 from repro.power import (
-    PRESENT_SBOX,
-    acquire_circuit_traces,
-    acquire_model_traces,
-    build_sbox_circuit,
-    cpa_correlation,
-    dpa_difference_of_means,
     energy_statistics,
     measurements_to_disclosure,
     profiled_cpa,
     simulated_energy_predictor,
 )
+from repro.power.crypto import PRESENT_SBOX
 from repro.reporting import format_table
 
 KEY = 0xB
@@ -37,27 +32,45 @@ NOISE = 0.002
 MAX_FANIN = 3
 
 
+def _campaign(**overrides):
+    base = dict(
+        key=KEY, trace_count=TRACES, noise_std=NOISE, seed=7, max_fanin=MAX_FANIN
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
 def test_dpa_attack_genuine_vs_fully_connected(benchmark):
     def run():
         results = {}
         predictor = simulated_energy_predictor("genuine", max_fanin=MAX_FANIN)
+        analysis = AnalysisConfig(attacks=("dom", "cpa"), target_bit=0)
         for style in ("genuine", "fc"):
-            circuit = build_sbox_circuit(KEY, style, max_fanin=MAX_FANIN)
-            traces = acquire_circuit_traces(
-                circuit, KEY, TRACES, noise_std=NOISE, seed=7
-            )
+            flow = DesignFlow.sbox(config=FlowConfig(
+                name=f"sbox_{style}",
+                campaign=_campaign(network_style=style),
+                analysis=analysis,
+            ))
+            flow.run(["circuit", "traces", "analysis"])
+            traces = flow.traces()
             results[style] = {
                 "stats": energy_statistics(traces.traces.tolist()),
-                "cpa": cpa_correlation(traces, PRESENT_SBOX),
-                "dom": dpa_difference_of_means(traces, PRESENT_SBOX, target_bit=0),
+                "cpa": flow.analysis()["cpa"],
+                "dom": flow.analysis()["dom"],
                 "profiled": profiled_cpa(traces, predictor),
             }
         # Unprotected-CMOS reference: plain Hamming-weight leakage.
-        reference = acquire_model_traces(KEY, TRACES, noise_std=0.25, seed=7)
+        reference_flow = DesignFlow.sbox(config=FlowConfig(
+            name="sbox_hw_reference",
+            campaign=_campaign(source="model", noise_std=0.25),
+            analysis=analysis,
+        ))
+        reference_flow.run(["traces", "analysis"])
+        reference = reference_flow.traces()
         results["hw reference"] = {
             "stats": energy_statistics(reference.traces.tolist()),
-            "cpa": cpa_correlation(reference, PRESENT_SBOX),
-            "dom": dpa_difference_of_means(reference, PRESENT_SBOX, target_bit=0),
+            "cpa": reference_flow.analysis()["cpa"],
+            "dom": reference_flow.analysis()["dom"],
             "profiled": None,
             "mtd": measurements_to_disclosure(reference, PRESENT_SBOX),
         }

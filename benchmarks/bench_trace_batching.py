@@ -1,0 +1,70 @@
+"""Extension C -- throughput of the batched trace-acquisition back-end.
+
+Production-scale campaigns run tens of thousands of traces; the seed's
+per-trace Python loop walked every gate's connectivity graph once per
+cycle.  The batched back-end (:class:`repro.sabl.simulator.BatchedCircuitEnergyModel`)
+precomputes per-gate event tables and accumulates the per-cycle energies
+(including the memory effect of genuine networks) as NumPy array
+operations.  This benchmark records the speedup on a 1000-trace campaign
+of the S-box circuit and checks the two back-ends agree trace for trace.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.power import acquire_circuit_traces, build_sbox_circuit
+from repro.reporting import format_table
+
+KEY = 0xB
+TRACES = 1000
+MAX_FANIN = 3
+
+
+def _time_acquisition(circuit, batch_size):
+    start = time.perf_counter()
+    traces = acquire_circuit_traces(
+        circuit, KEY, TRACES, noise_std=0.002, seed=7, batch_size=batch_size
+    )
+    return traces, time.perf_counter() - start
+
+
+def test_batched_acquisition_speedup(benchmark):
+    def run():
+        results = {}
+        for style in ("genuine", "fc"):
+            circuit = build_sbox_circuit(KEY, style, max_fanin=MAX_FANIN)
+            sequential, sequential_time = _time_acquisition(circuit, None)
+            batched, batched_time = _time_acquisition(circuit, 1024)
+            assert np.allclose(
+                sequential.traces, batched.traces, rtol=1e-9, atol=0.0
+            ), "batched and per-trace back-ends must agree trace for trace"
+            results[style] = (sequential_time, batched_time)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for style, (sequential_time, batched_time) in results.items():
+        rows.append([
+            style,
+            f"{sequential_time * 1e3:.1f}",
+            f"{batched_time * 1e3:.1f}",
+            f"{sequential_time / batched_time:.1f}x",
+            f"{TRACES / batched_time:,.0f}",
+        ])
+    print()
+    print(format_table(
+        ["implementation", "per-trace loop [ms]", "batched [ms]", "speedup",
+         "batched traces/s"],
+        rows,
+        title=f"Extension C -- batched trace acquisition, {TRACES} traces "
+              f"(PRESENT S-box, max fan-in {MAX_FANIN})",
+    ))
+
+    for style, (sequential_time, batched_time) in results.items():
+        assert batched_time < sequential_time, (
+            f"batched acquisition should beat the per-trace loop for {style} "
+            f"({batched_time:.3f}s vs {sequential_time:.3f}s)"
+        )

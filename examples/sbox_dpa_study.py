@@ -1,10 +1,11 @@
 """Scenario: differential power analysis of a protected vs unprotected S-box.
 
-Builds the key-mixed PRESENT S-box twice -- once from conventional
-(genuine) differential gates and once from fully connected gates -- then
-records power traces from the cycle-accurate charge model and attacks
-both with standard CPA, single-bit DPA and a profiled (perfect-model)
-CPA.  The fully connected implementation is the one that survives.
+Runs one :class:`~repro.flow.DesignFlow` per implementation of the
+key-mixed PRESENT S-box -- conventional (genuine) differential gates and
+fully connected gates -- through circuit mapping, a batched trace
+campaign and the registered attacks (single-bit DoM and CPA), then
+layers a profiled (perfect-model) CPA on the recorded campaigns.  The
+fully connected implementation is the one that survives.
 
 Run with::
 
@@ -13,12 +14,8 @@ Run with::
 
 import sys
 
+from repro.flow import AnalysisConfig, CampaignConfig, DesignFlow, FlowConfig
 from repro.power import (
-    PRESENT_SBOX,
-    acquire_circuit_traces,
-    build_sbox_circuit,
-    cpa_correlation,
-    dpa_difference_of_means,
     energy_statistics,
     profiled_cpa,
     simulated_energy_predictor,
@@ -39,20 +36,31 @@ def main() -> None:
     rows = []
     score_rows = {}
     for style, label in (("genuine", "conventional gates"), ("fc", "fully connected gates")):
-        circuit = build_sbox_circuit(key, style, max_fanin=max_fanin)
-        traces = acquire_circuit_traces(circuit, key, trace_count, noise_std=noise, seed=1)
+        flow = DesignFlow.sbox(config=FlowConfig(
+            name=f"sbox_{style}",
+            campaign=CampaignConfig(
+                key=key,
+                trace_count=trace_count,
+                network_style=style,
+                max_fanin=max_fanin,
+                noise_std=noise,
+                seed=1,
+            ),
+            analysis=AnalysisConfig(attacks=("dom", "cpa"), target_bit=0),
+        ))
+        flow.run(["circuit", "traces", "analysis"])
+        traces = flow.traces()
+        attacks = flow.analysis()
         stats = energy_statistics(traces.traces.tolist())
-        cpa = cpa_correlation(traces, PRESENT_SBOX)
-        dom = dpa_difference_of_means(traces, PRESENT_SBOX, target_bit=0)
         profiled = profiled_cpa(traces, predictor)
         score_rows[label] = profiled.scores
         rows.append([
             label,
-            circuit.gate_count(),
+            flow.circuit().gate_count(),
             f"{stats.mean * 1e12:.2f} pJ",
             f"{stats.nsd * 100:.3f}%",
-            f"rank {cpa.correct_key_rank}",
-            "yes" if dom.succeeded else "no",
+            f"rank {attacks['cpa'].correct_key_rank}",
+            "yes" if attacks["dom"].succeeded else "no",
             "KEY RECOVERED" if profiled.succeeded else "resists",
             f"{max(profiled.scores):.3f}",
         ])

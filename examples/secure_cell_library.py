@@ -13,8 +13,9 @@ Run with::
 
 import sys
 
-from repro.core import CellSpec, STANDARD_CELL_SPECS, build_library, library_statistics
-from repro.electrical import EventEnergyModel, generic_180nm
+from repro.core import CellSpec, build_cell, library_statistics
+from repro.electrical import EventEnergyModel
+from repro.flow import DesignFlow, FlowConfig, get_technology
 from repro.network import to_spice_subckt
 from repro.power import energy_statistics
 from repro.reporting import format_table
@@ -27,11 +28,18 @@ CUSTOM_CELLS = (
 
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "secure_cells.sp"
-    specs = tuple(STANDARD_CELL_SPECS) + CUSTOM_CELLS
-    technology = generic_180nm()
+    technology = get_technology("generic_180nm")
 
-    print(f"Building {len(specs)} cells (genuine, fully connected, transformed, enhanced)...")
-    cells = build_library(specs)
+    # The full standard catalogue through the pipeline's library stage
+    # (an empty CellConfig.names means every catalogue cell) ...
+    flow = DesignFlow.sbox(config=FlowConfig(name="cell_library"))
+    cells = dict(flow.library())
+    # ... plus a couple of custom cells built with the same generator.
+    for spec in CUSTOM_CELLS:
+        cells[spec.name] = build_cell(spec)
+
+    print(f"Built {len(cells)} cells (genuine, fully connected, transformed, enhanced)")
+    print(flow.result('library').summary())
     stats = library_statistics(cells)
 
     rows = []

@@ -7,13 +7,28 @@ paper's synthesis / transformation / enhancement methods, charge-based
 and transient electrical models of SABL and CVSL gates, and a
 differential-power-analysis harness that demonstrates the protection.
 
-Quick start::
+The canonical entry point is the :mod:`repro.flow` pipeline::
+
+    from repro import DesignFlow
+
+    flow = DesignFlow.sbox(key=0xB, trace_count=2000, noise_std=0.002)
+    report = flow.run()
+    print(report.format_summary())
+
+The single-gate substrate remains available directly::
 
     from repro import parse, synthesize_fc_dpdn, verify_gate
 
     dpdn = synthesize_fc_dpdn(parse("(A | B) & C"))
     print(verify_gate(dpdn).describe())
+
+The loose top-level stage functions (``synthesize_fc_dpdn``,
+``acquire_circuit_traces``, ...) are kept as thin delegating shims for
+existing code; new code should compose stages through
+:class:`~repro.flow.DesignFlow` and the config objects instead.
 """
+
+import warnings as _warnings
 
 from .boolexpr import Expr, Var, And, Or, Not, Xor, parse, truth_table, equivalent, vars_
 from .network import (
@@ -34,20 +49,77 @@ from .core import (
     verify_gate,
 )
 from .electrical import Technology, generic_180nm, EventEnergyModel, CycleEnergySimulator
-from .sabl import SABLGate, CVSLGate, map_expressions, CircuitPowerSimulator
+from .sabl import (
+    SABLGate,
+    CVSLGate,
+    map_expressions,
+    BatchedCircuitEnergyModel,
+    CircuitPowerSimulator,
+)
 from .power import (
     PRESENT_SBOX,
-    acquire_circuit_traces,
     build_sbox_circuit,
     cpa_correlation,
     dpa_difference_of_means,
     energy_statistics,
 )
+from .power import acquire_circuit_traces as _acquire_circuit_traces
+from .flow import (
+    AnalysisConfig,
+    CampaignConfig,
+    CellConfig,
+    DesignFlow,
+    FlowConfig,
+    FlowError,
+    FlowReport,
+    FlowResult,
+    SynthesisConfig,
+    TechnologyConfig,
+    register_attack,
+    register_gate_style,
+    register_sbox,
+    register_technology,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+
+def acquire_circuit_traces(*args, **kwargs):
+    """Deprecated top-level shim for :func:`repro.power.acquire_circuit_traces`.
+
+    The acquisition signature grew a vectorized back-end
+    (``batch_size=...``), which changes the default execution path from
+    the per-trace loop this shim historically exposed.  Campaigns should
+    be configured through :class:`repro.flow.DesignFlow` (or call
+    ``repro.power.acquire_circuit_traces`` directly for the low-level
+    API).
+    """
+    _warnings.warn(
+        "repro.acquire_circuit_traces is deprecated; use "
+        "repro.flow.DesignFlow (or repro.power.acquire_circuit_traces)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _acquire_circuit_traces(*args, **kwargs)
+
 
 __all__ = [
     "__version__",
+    # flow (the canonical pipeline API)
+    "DesignFlow",
+    "FlowConfig",
+    "FlowError",
+    "FlowResult",
+    "FlowReport",
+    "SynthesisConfig",
+    "TechnologyConfig",
+    "CellConfig",
+    "CampaignConfig",
+    "AnalysisConfig",
+    "register_technology",
+    "register_gate_style",
+    "register_attack",
+    "register_sbox",
     # boolexpr
     "Expr", "Var", "And", "Or", "Not", "Xor", "parse", "truth_table", "equivalent", "vars_",
     # network
@@ -60,6 +132,7 @@ __all__ = [
     "Technology", "generic_180nm", "EventEnergyModel", "CycleEnergySimulator",
     # sabl
     "SABLGate", "CVSLGate", "map_expressions", "CircuitPowerSimulator",
+    "BatchedCircuitEnergyModel",
     # power
     "PRESENT_SBOX", "build_sbox_circuit", "acquire_circuit_traces",
     "dpa_difference_of_means", "cpa_correlation", "energy_statistics",

@@ -32,7 +32,7 @@ Both models support the two gate styles compared in the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..network.analysis import nodes_connected_to
 from ..network.netlist import DifferentialPullDownNetwork
@@ -41,29 +41,82 @@ from .technology import Technology, generic_180nm
 
 __all__ = [
     "GATE_STYLES",
+    "DischargeRootsFn",
+    "register_gate_style_roots",
+    "unregister_gate_style_roots",
+    "known_gate_styles",
     "EventEnergyRecord",
     "CycleEnergyRecord",
     "EventEnergyModel",
     "CycleEnergySimulator",
 ]
 
-GATE_STYLES = ("sabl", "cvsl")
+#: A gate style's discharge rule: which DPDN nodes are pulled low during
+#: the evaluation phase (everything conducting to them discharges too).
+DischargeRootsFn = Callable[[DifferentialPullDownNetwork], Tuple[str, ...]]
+
+_DISCHARGE_ROOTS: Dict[str, DischargeRootsFn] = {}
+
+
+def __getattr__(name: str):
+    # ``GATE_STYLES`` is a live view of the registered style names (the
+    # paper's sabl/cvsl plus any plugins), so membership checks against
+    # it stay correct after register_gate_style_roots.
+    if name == "GATE_STYLES":
+        return known_gate_styles()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def register_gate_style_roots(
+    name: str, roots: DischargeRootsFn, overwrite: bool = False
+) -> None:
+    """Register the discharge rule of a gate style.
+
+    The charge-based models (:class:`EventEnergyModel`,
+    :class:`CycleEnergySimulator` and the batched circuit model) accept
+    any registered style name.  ``overwrite`` must be passed explicitly
+    to replace an existing rule.
+    """
+    if not overwrite and name in _DISCHARGE_ROOTS:
+        raise ValueError(f"gate style {name!r} is already registered")
+    _DISCHARGE_ROOTS[name] = roots
+
+
+def unregister_gate_style_roots(name: str) -> None:
+    """Remove a gate style's discharge rule (no-op when absent)."""
+    _DISCHARGE_ROOTS.pop(name, None)
+
+
+def known_gate_styles() -> Tuple[str, ...]:
+    """Names of every registered gate style (built-in plus plugins)."""
+    return tuple(_DISCHARGE_ROOTS)
+
+
+def _sabl_discharge_roots(dpdn: DifferentialPullDownNetwork) -> Tuple[str, ...]:
+    # M1 shorts X and Y during evaluation, so both module outputs discharge.
+    return (dpdn.x, dpdn.y, dpdn.z)
+
+
+def _cvsl_discharge_roots(dpdn: DifferentialPullDownNetwork) -> Tuple[str, ...]:
+    # No equaliser: only the common node Z (and what conducts to it) falls.
+    return (dpdn.z,)
+
+
+register_gate_style_roots("sabl", _sabl_discharge_roots)
+register_gate_style_roots("cvsl", _cvsl_discharge_roots)
 
 
 def _discharge_roots(
     dpdn: DifferentialPullDownNetwork, style: str
 ) -> Tuple[str, ...]:
-    """Nodes that are pulled low during the evaluation phase.
-
-    In the SABL gate both module outputs discharge (M1 shorts X and Y
-    during evaluation); in the plain CVSL-style gate only the common node
-    Z (and whatever conducts to it) discharges.
-    """
-    if style == "sabl":
-        return (dpdn.x, dpdn.y, dpdn.z)
-    if style == "cvsl":
-        return (dpdn.z,)
-    raise ValueError(f"unknown gate style {style!r}; expected one of {GATE_STYLES}")
+    """Nodes that are pulled low during the evaluation phase."""
+    try:
+        roots = _DISCHARGE_ROOTS[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown gate style {style!r}; expected one of {known_gate_styles()}"
+        ) from None
+    return roots(dpdn)
 
 
 @dataclass(frozen=True)
@@ -105,8 +158,10 @@ class EventEnergyModel:
         output_load: Optional[float] = None,
         capacitances: Optional[CapacitanceExtraction] = None,
     ) -> None:
-        if style not in GATE_STYLES:
-            raise ValueError(f"unknown gate style {style!r}; expected one of {GATE_STYLES}")
+        if style not in _DISCHARGE_ROOTS:
+            raise ValueError(
+                f"unknown gate style {style!r}; expected one of {known_gate_styles()}"
+            )
         self.dpdn = dpdn
         self.technology = technology or generic_180nm()
         self.style = style
@@ -231,12 +286,12 @@ class CycleEnergySimulator:
         }
         recharged_capacitance = capacitances.total(recharged)
 
-        baseline_nodes = [self.dpdn.x, self.dpdn.y] if self.model.style == "sabl" else []
-        if self.model.style == "cvsl":
-            # Only the previously discharged module output is recharged.
-            baseline_nodes = [
-                node for node in (self.dpdn.x, self.dpdn.y) if node in connected
-            ]
+        # Whichever module outputs discharged are recharged every cycle:
+        # with the SABL equaliser X and Y are both discharge roots and both
+        # recharge; without it (CVSL) only the conducting output does.
+        baseline_nodes = [
+            node for node in (self.dpdn.x, self.dpdn.y) if node in connected
+        ]
         baseline = capacitances.total(baseline_nodes) + self.model.output_load
 
         energy = self.technology.switching_energy(baseline + recharged_capacitance)

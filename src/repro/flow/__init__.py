@@ -1,0 +1,81 @@
+"""Composable pipeline API over the paper's design and evaluation chain.
+
+:class:`DesignFlow` runs expr -> FC-DPDN synthesis -> verification ->
+cell/library build -> differential circuit -> trace campaign -> DPA from
+one validated config; backends (technologies, gate styles, attacks,
+S-boxes) are pluggable through named registries.
+
+Quick start::
+
+    from repro.flow import DesignFlow
+
+    flow = DesignFlow.sbox(key=0xB, trace_count=2000, noise_std=0.002)
+    report = flow.run()
+    print(report.format_summary())
+    assert not flow.analysis()["dom"].succeeded   # protected circuit resists
+"""
+
+from .config import (
+    AnalysisConfig,
+    CampaignConfig,
+    CellConfig,
+    ConfigError,
+    FlowConfig,
+    SynthesisConfig,
+    TechnologyConfig,
+)
+from .pipeline import STAGES, DesignFlow, FlowError
+from .registry import (
+    ATTACKS,
+    GATE_STYLES,
+    SBOXES,
+    TECHNOLOGIES,
+    DuplicateBackendError,
+    GateStyleBackend,
+    Registry,
+    UnknownBackendError,
+    get_attack,
+    get_gate_style,
+    get_sbox,
+    get_technology,
+    register_attack,
+    register_gate_style,
+    register_sbox,
+    register_technology,
+)
+from .results import FlowReport, FlowResult
+
+__all__ = [
+    # config
+    "ConfigError",
+    "SynthesisConfig",
+    "TechnologyConfig",
+    "CellConfig",
+    "CampaignConfig",
+    "AnalysisConfig",
+    "FlowConfig",
+    # registry
+    "Registry",
+    "UnknownBackendError",
+    "DuplicateBackendError",
+    "GateStyleBackend",
+    "TECHNOLOGIES",
+    "GATE_STYLES",
+    "ATTACKS",
+    "SBOXES",
+    "register_technology",
+    "get_technology",
+    "register_gate_style",
+    "get_gate_style",
+    "register_attack",
+    "get_attack",
+    "register_sbox",
+    "get_sbox",
+    # pipeline
+    "STAGES",
+    "DesignFlow",
+    "FlowError",
+    # results
+    "FlowResult",
+    "FlowReport",
+]

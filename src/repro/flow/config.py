@@ -1,0 +1,318 @@
+"""Frozen configuration objects for the :mod:`repro.flow` pipeline.
+
+Every stage of a :class:`~repro.flow.pipeline.DesignFlow` is driven by a
+small frozen dataclass: construction validates the fields eagerly (a bad
+value fails at config time, not three stages into a campaign), and every
+config round-trips through plain dictionaries (``to_dict`` /
+``from_dict``) so flows can be stored next to their results as JSON.
+
+Names that select a pluggable backend (``TechnologyConfig.name``,
+``CampaignConfig.gate_style``, ``AnalysisConfig.attacks``,
+``CampaignConfig.sbox``) are resolved against the registries of
+:mod:`repro.flow.registry` when the pipeline runs, so backends registered
+after a config was created are still honoured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..boolexpr.decompose import DecompositionStyle
+from ..electrical.technology import Technology
+
+__all__ = [
+    "ConfigError",
+    "SynthesisConfig",
+    "TechnologyConfig",
+    "CellConfig",
+    "CampaignConfig",
+    "AnalysisConfig",
+    "FlowConfig",
+]
+
+
+class ConfigError(ValueError):
+    """A configuration value failed validation."""
+
+
+_TECHNOLOGY_FIELDS = {f.name for f in fields(Technology)}
+
+
+class _ConfigBase:
+    """Shared dict round-tripping for the frozen config dataclasses."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-friendly) form of the config."""
+        result: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, _ConfigBase):
+                value = value.to_dict()
+            elif isinstance(value, tuple):
+                value = list(value)
+            elif isinstance(value, Mapping):
+                value = dict(value)
+            result[f.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "_ConfigBase":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ConfigError` (they usually indicate a
+        typo or a config written by a newer version).
+        """
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ConfigError(
+                f"{cls.__name__}: unknown keys {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, value in data.items():
+            nested = _NESTED_CONFIG_FIELDS.get((cls.__name__, name))
+            if nested is not None and isinstance(value, Mapping):
+                value = nested.from_dict(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    def replace(self, **overrides: Any):
+        """Copy of the config with some fields replaced (re-validates)."""
+        return replace(self, **overrides)
+
+
+def _as_tuple(value) -> tuple:
+    if isinstance(value, str):
+        raise ConfigError(f"expected a sequence of names, got the string {value!r}")
+    return tuple(value)
+
+
+_DECOMPOSITION_STYLES = {
+    "linear": DecompositionStyle.LINEAR,
+    "balanced": DecompositionStyle.BALANCED,
+}
+
+
+def _decomposition_style(name: str) -> DecompositionStyle:
+    try:
+        return _DECOMPOSITION_STYLES[name]
+    except KeyError:
+        raise ConfigError(
+            f"decomposition must be one of {sorted(_DECOMPOSITION_STYLES)}, "
+            f"got {name!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SynthesisConfig(_ConfigBase):
+    """How each output function becomes a fully connected DPDN.
+
+    Attributes:
+        method: ``"synthesize"`` (Section 4.1, construction from the
+            expression) or ``"transform"`` (Section 4.2, transformation
+            of the genuine network).
+        decomposition: ``"linear"`` or ``"balanced"`` operator
+            decomposition (see
+            :class:`repro.boolexpr.decompose.DecompositionStyle`).
+        enhance: apply the Section 5 pass-gate enhancement for constant
+            evaluation depth.
+    """
+
+    method: str = "synthesize"
+    decomposition: str = "linear"
+    enhance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method not in ("synthesize", "transform"):
+            raise ConfigError(
+                f"synthesis method must be 'synthesize' or 'transform', got {self.method!r}"
+            )
+        _decomposition_style(self.decomposition)
+
+    @property
+    def decomposition_style(self) -> DecompositionStyle:
+        return _decomposition_style(self.decomposition)
+
+
+@dataclass(frozen=True)
+class TechnologyConfig(_ConfigBase):
+    """Which technology card the electrical models use.
+
+    ``name`` selects a registered technology
+    (:func:`repro.flow.registry.register_technology`); ``overrides``
+    rescales individual card fields, e.g. ``{"c_output_load": 5e-15}``.
+    """
+
+    name: str = "generic_180nm"
+    overrides: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("technology name must be non-empty")
+        object.__setattr__(self, "overrides", dict(self.overrides))
+        bad = sorted(set(self.overrides) - _TECHNOLOGY_FIELDS)
+        if bad:
+            raise ConfigError(
+                f"unknown technology overrides {bad}; valid fields are "
+                f"{sorted(_TECHNOLOGY_FIELDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class CellConfig(_ConfigBase):
+    """Which standard cells the library stage builds.
+
+    ``names`` selects cells from the catalogue of
+    :data:`repro.core.library.STANDARD_CELL_SPECS`; an empty tuple means
+    the full catalogue.  ``decomposition`` picks the synthesis
+    decomposition used for the cells.
+    """
+
+    names: Tuple[str, ...] = ()
+    decomposition: str = "linear"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", _as_tuple(self.names))
+        duplicates = sorted({name for name in self.names if self.names.count(name) > 1})
+        if duplicates:
+            raise ConfigError(f"duplicate cell names {duplicates}")
+        _decomposition_style(self.decomposition)
+
+    @property
+    def decomposition_style(self) -> DecompositionStyle:
+        return _decomposition_style(self.decomposition)
+
+
+@dataclass(frozen=True)
+class CampaignConfig(_ConfigBase):
+    """The trace-acquisition campaign: circuit mapping plus measurement.
+
+    Attributes:
+        key: secret key folded into the S-box (a nibble for the default
+            4-bit PRESENT box; the exact bound follows the selected
+            S-box and is checked when the campaign runs).
+        trace_count: number of recorded traces.
+        source: ``"circuit"`` records the gate-level charge model;
+            ``"model"`` records the leakage of an unprotected
+            implementation (the attack-validation reference, see
+            :func:`repro.power.trace.acquire_model_traces`; there
+            ``noise_std`` is in units of the per-bit energy).
+        model_leakage: leakage of the ``"model"`` source --
+            ``"hamming"`` (Hamming weight of the S-box output) or
+            ``"bit"`` (the analysis config's target bit alone, the
+            selection-bit model single-bit DPA assumes).
+        network_style: ``"fc"`` (protected) or ``"genuine"`` (leaky)
+            gate networks for the mapped circuit.
+        max_fanin: fan-in bound of the technology mapper.
+        gate_style: registered gate style backend (``"sabl"``/``"cvsl"``).
+        sbox: registered S-box name (``"present"`` by default).
+        noise_std: Gaussian measurement noise, as a fraction of the mean
+            cycle energy.
+        seed: RNG seed of the campaign.
+        warmup_cycles: random cycles simulated (and discarded) before
+            recording, so charge state starts from steady state.
+        batch_size: chunk size of the vectorized acquisition back-end;
+            ``None`` forces the per-trace Python loop.
+    """
+
+    key: int = 0xB
+    trace_count: int = 1000
+    source: str = "circuit"
+    model_leakage: str = "hamming"
+    network_style: str = "fc"
+    max_fanin: int = 2
+    gate_style: str = "sabl"
+    sbox: str = "present"
+    noise_std: float = 0.0
+    seed: int = 2005
+    warmup_cycles: int = 4
+    batch_size: Optional[int] = 1024
+
+    def __post_init__(self) -> None:
+        if self.key < 0:
+            raise ConfigError(
+                f"key must be non-negative (the upper bound follows the "
+                f"selected S-box and is checked at run time), got {self.key}"
+            )
+        if self.trace_count < 1:
+            raise ConfigError(f"trace_count must be positive, got {self.trace_count}")
+        if self.source not in ("circuit", "model"):
+            raise ConfigError(
+                f"source must be 'circuit' or 'model', got {self.source!r}"
+            )
+        if self.model_leakage not in ("hamming", "bit"):
+            raise ConfigError(
+                f"model_leakage must be 'hamming' or 'bit', got {self.model_leakage!r}"
+            )
+        if self.network_style not in ("fc", "genuine"):
+            raise ConfigError(
+                f"network_style must be 'fc' or 'genuine', got {self.network_style!r}"
+            )
+        if self.max_fanin < 2:
+            raise ConfigError(f"max_fanin must be at least 2, got {self.max_fanin}")
+        if not self.gate_style:
+            raise ConfigError("gate_style must be non-empty")
+        if not self.sbox:
+            raise ConfigError("sbox must be non-empty")
+        if self.noise_std < 0.0:
+            raise ConfigError(f"noise_std must be non-negative, got {self.noise_std}")
+        if self.warmup_cycles < 0:
+            raise ConfigError(
+                f"warmup_cycles must be non-negative, got {self.warmup_cycles}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be positive or None, got {self.batch_size}"
+            )
+
+
+@dataclass(frozen=True)
+class AnalysisConfig(_ConfigBase):
+    """Which side-channel attacks the analysis stage runs.
+
+    ``attacks`` names registered attack backends
+    (:func:`repro.flow.registry.register_attack`); ``target_bit`` is the
+    predicted bit of single-bit difference-of-means DPA; ``key_space``
+    overrides the number of key guesses (defaults to the S-box size).
+    """
+
+    attacks: Tuple[str, ...] = ("dom", "cpa")
+    target_bit: int = 0
+    key_space: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attacks", _as_tuple(self.attacks))
+        if not self.attacks:
+            raise ConfigError("at least one attack must be configured")
+        if not 0 <= self.target_bit < 8:
+            raise ConfigError(f"target_bit must be in 0..7, got {self.target_bit}")
+        if self.key_space is not None and self.key_space < 2:
+            raise ConfigError(f"key_space must be at least 2, got {self.key_space}")
+
+
+@dataclass(frozen=True)
+class FlowConfig(_ConfigBase):
+    """Aggregate configuration of a :class:`~repro.flow.pipeline.DesignFlow`."""
+
+    name: str = "design"
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    technology: TechnologyConfig = field(default_factory=TechnologyConfig)
+    cells: CellConfig = field(default_factory=CellConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("flow name must be non-empty")
+
+
+#: Nested config fields handled by ``from_dict`` ((class, field) -> type).
+_NESTED_CONFIG_FIELDS = {
+    ("FlowConfig", "synthesis"): SynthesisConfig,
+    ("FlowConfig", "technology"): TechnologyConfig,
+    ("FlowConfig", "cells"): CellConfig,
+    ("FlowConfig", "campaign"): CampaignConfig,
+    ("FlowConfig", "analysis"): AnalysisConfig,
+}

@@ -1,0 +1,468 @@
+"""The :class:`DesignFlow` facade: the paper's whole chain as one pipeline.
+
+A flow runs the expr -> FC-DPDN synthesis -> verification -> cell/library
+build -> differential circuit -> trace campaign -> DPA chain from a
+single :class:`~repro.flow.config.FlowConfig`.  Stages are computed
+lazily and cached: asking for ``flow.traces()`` computes (and keeps) the
+expressions, the mapped circuit and the campaign, but not the library or
+the attacks; a later ``flow.run()`` reuses everything already computed.
+
+Two kinds of workload exist:
+
+* ``DesignFlow.sbox(key)`` -- the paper's side-channel scenario: a
+  key-mixed S-box circuit, traced and attacked; this is the flow the
+  acceptance benchmark uses.
+* ``DesignFlow({"F": "(A | B) & C"})`` -- any named Boolean outputs; the
+  crypto-specific analysis stage is unavailable, everything up to the
+  trace campaign works the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..boolexpr.ast import Expr
+from ..boolexpr.parser import parse
+from ..core.enhance import enhance_fc_dpdn
+from ..core.library import Cell, STANDARD_CELL_SPECS, build_library
+from ..core.synthesis import synthesize_fc_dpdn
+from ..core.transform import transform_to_fc
+from ..core.verify import verify_gate
+from ..network.build import build_genuine_dpdn
+from ..network.netlist import DifferentialPullDownNetwork
+from ..power.metrics import energy_statistics
+from ..power.trace import TraceSet, acquire_circuit_traces, acquire_model_traces
+from ..sabl.circuit import DifferentialCircuit, map_expressions
+from .config import FlowConfig
+from .registry import (
+    UnknownBackendError,
+    get_attack,
+    get_gate_style,
+    get_sbox,
+    get_technology,
+)
+from .results import FlowReport, FlowResult
+
+__all__ = ["FlowError", "DesignFlow", "STAGES"]
+
+#: Canonical stage order of a full run.
+STAGES = (
+    "expressions",
+    "synthesis",
+    "verification",
+    "library",
+    "circuit",
+    "traces",
+    "analysis",
+)
+
+#: Direct dependencies of each stage (used for lazy evaluation and
+#: downstream invalidation).
+_DEPENDENCIES: Dict[str, Tuple[str, ...]] = {
+    "expressions": (),
+    "synthesis": ("expressions",),
+    "verification": ("synthesis",),
+    "library": (),
+    "circuit": ("expressions",),
+    "traces": ("circuit",),
+    "analysis": ("traces",),
+}
+
+
+class FlowError(RuntimeError):
+    """A pipeline stage failed (bad input, failed verification, ...)."""
+
+
+class DesignFlow:
+    """Facade over the paper's design and evaluation chain.
+
+    Args:
+        expressions: named Boolean outputs, as expression strings or
+            parsed :class:`~repro.boolexpr.ast.Expr` objects.  Pass
+            ``None`` (or use :meth:`sbox`) for the S-box side-channel
+            workload derived from the campaign config.
+        config: the aggregate :class:`~repro.flow.config.FlowConfig`;
+            defaults are the paper's setup.
+    """
+
+    def __init__(
+        self,
+        expressions: Optional[Mapping[str, Union[str, Expr]]] = None,
+        config: Optional[FlowConfig] = None,
+    ) -> None:
+        self.config = config or FlowConfig()
+        if expressions is not None and not expressions:
+            raise FlowError("expressions mapping must not be empty")
+        self._expression_spec = dict(expressions) if expressions is not None else None
+        self._results: Dict[str, FlowResult] = {}
+
+    @classmethod
+    def sbox(
+        cls,
+        key: Optional[int] = None,
+        config: Optional[FlowConfig] = None,
+        **campaign_overrides: Any,
+    ) -> "DesignFlow":
+        """The paper's S-box side-channel workload.
+
+        ``key`` and keyword overrides update the campaign config, e.g.
+        ``DesignFlow.sbox(0xB, network_style="genuine", trace_count=500)``.
+        """
+        config = config or FlowConfig(name="sbox_dpa")
+        if key is not None:
+            campaign_overrides["key"] = key
+        if campaign_overrides:
+            config = config.replace(
+                campaign=config.campaign.replace(**campaign_overrides)
+            )
+        return cls(None, config)
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def is_sbox_workload(self) -> bool:
+        """True when the flow's outputs are the keyed S-box bits."""
+        return self._expression_spec is None
+
+    def computed_stages(self) -> Tuple[str, ...]:
+        """Stages whose results are currently cached, in canonical order."""
+        return tuple(stage for stage in STAGES if stage in self._results)
+
+    def invalidate(self, stage: Optional[str] = None) -> None:
+        """Drop cached results from ``stage`` onwards (all when omitted)."""
+        if stage is None:
+            self._results.clear()
+            return
+        if stage not in STAGES:
+            raise FlowError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        dropped = {stage}
+        changed = True
+        while changed:
+            changed = False
+            for name, dependencies in _DEPENDENCIES.items():
+                if name not in dropped and dropped.intersection(dependencies):
+                    dropped.add(name)
+                    changed = True
+        for name in dropped:
+            self._results.pop(name, None)
+
+    # ----------------------------------------------------------------- stages
+
+    def _stage_dependencies(self, stage: str) -> Tuple[str, ...]:
+        # Hamming-weight model campaigns need no mapped circuit.
+        if stage == "traces" and self.config.campaign.source == "model":
+            return ()
+        return _DEPENDENCIES[stage]
+
+    def result(self, stage: str) -> FlowResult:
+        """The (lazily computed, cached) :class:`FlowResult` of a stage."""
+        if stage not in STAGES:
+            raise FlowError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        cached = self._results.get(stage)
+        if cached is not None:
+            return cached
+        for dependency in self._stage_dependencies(stage):
+            self.result(dependency)
+        compute = getattr(self, f"_compute_{stage}")
+        start = time.perf_counter()
+        value, details = compute()
+        elapsed = time.perf_counter() - start
+        result = FlowResult(stage=stage, value=value, details=details, elapsed=elapsed)
+        self._results[stage] = result
+        return result
+
+    # Convenience accessors returning the stage values directly.
+
+    def expressions(self) -> Dict[str, Expr]:
+        """Named output expressions (parsed)."""
+        return self.result("expressions").value
+
+    def networks(self) -> Dict[str, DifferentialPullDownNetwork]:
+        """Per-output fully connected DPDNs (the single-gate view)."""
+        return self.result("synthesis").value
+
+    def verification(self) -> Dict[str, Any]:
+        """Per-output :class:`~repro.core.verify.GateReport` objects."""
+        return self.result("verification").value
+
+    def library(self) -> Dict[str, Cell]:
+        """The configured secure standard-cell library."""
+        return self.result("library").value
+
+    def circuit(self) -> DifferentialCircuit:
+        """The mapped differential circuit of the campaign."""
+        return self.result("circuit").value
+
+    def traces(self) -> TraceSet:
+        """The acquired trace campaign."""
+        return self.result("traces").value
+
+    def analysis(self) -> Dict[str, Any]:
+        """Per-attack :class:`~repro.power.dpa.AttackResult` objects."""
+        return self.result("analysis").value
+
+    def run(self, stages: Optional[Sequence[str]] = None) -> FlowReport:
+        """Compute ``stages`` (default: every applicable stage) and report.
+
+        By default only the stages whose results the run consumes are
+        computed: the crypto-specific ``analysis`` stage is skipped for
+        non-S-box workloads (it needs the plaintext/key relation of the
+        S-box campaign), the ``library`` stage is skipped when no cells
+        are configured, and a ``source="model"`` campaign -- which
+        measures a leakage model, not a designed circuit -- runs only
+        the trace and analysis stages.  Every skipped stage remains
+        available on demand through its accessor.
+        """
+        if stages is None:
+            if self.config.campaign.source == "model":
+                stages = ["traces"] + (["analysis"] if self.is_sbox_workload else [])
+            else:
+                stages = [
+                    stage
+                    for stage in STAGES
+                    if (stage != "analysis" or self.is_sbox_workload)
+                    and (stage != "library" or self.config.cells.names)
+                ]
+        for stage in stages:
+            self.result(stage)
+        ordered = {
+            stage: self._results[stage]
+            for stage in STAGES
+            if stage in self._results and stage in stages
+        }
+        return FlowReport(self.config, ordered)
+
+    def report(self) -> FlowReport:
+        """Report over everything computed so far (computes nothing)."""
+        return FlowReport(
+            self.config,
+            {stage: self._results[stage] for stage in self.computed_stages()},
+        )
+
+    # ----------------------------------------------------- stage computations
+
+    @staticmethod
+    def _resolve(getter, name: str):
+        """Registry lookup surfacing unknown names as stage failures."""
+        try:
+            return getter(name)
+        except UnknownBackendError as error:
+            raise FlowError(str(error)) from error
+
+    @staticmethod
+    def _require_key_in_sbox(campaign, sbox) -> None:
+        if not 0 <= campaign.key < len(sbox):
+            raise FlowError(
+                f"key {campaign.key:#x} does not fit the {len(sbox)}-entry "
+                f"S-box {campaign.sbox!r}"
+            )
+
+    def _require_target_bit_in_sbox(self, sbox) -> None:
+        target_bit = self.config.analysis.target_bit
+        output_bits = max(sbox).bit_length()
+        if target_bit >= output_bits:
+            raise FlowError(
+                f"target_bit {target_bit} is outside the {output_bits}-bit "
+                f"output of S-box {self.config.campaign.sbox!r}"
+            )
+
+    def _compute_expressions(self) -> Tuple[Dict[str, Expr], Dict[str, Any]]:
+        campaign = self.config.campaign
+        if self._expression_spec is None:
+            from ..power.crypto import keyed_sbox_expressions
+
+            sbox = self._resolve(get_sbox, campaign.sbox)
+            if len(sbox) != 16:
+                raise FlowError(
+                    f"the circuit workload needs a 4-bit S-box; {campaign.sbox!r} "
+                    f"has {len(sbox)} entries"
+                )
+            self._require_key_in_sbox(campaign, sbox)
+            expressions = keyed_sbox_expressions(campaign.key, sbox=sbox)
+        else:
+            expressions = {}
+            for name, expression in self._expression_spec.items():
+                if isinstance(expression, Expr):
+                    expressions[name] = expression
+                else:
+                    try:
+                        expressions[name] = parse(expression)
+                    except Exception as error:
+                        raise FlowError(
+                            f"output {name!r}: cannot parse {expression!r}: {error}"
+                        ) from error
+        variables = sorted(
+            {name for expr in expressions.values() for name in expr.variables()}
+        )
+        return expressions, {
+            "outputs": len(expressions),
+            "inputs": len(variables),
+        }
+
+    def _compute_synthesis(
+        self,
+    ) -> Tuple[Dict[str, DifferentialPullDownNetwork], Dict[str, Any]]:
+        synthesis = self.config.synthesis
+        expressions = self.expressions()
+        networks: Dict[str, DifferentialPullDownNetwork] = {}
+        for name, function in expressions.items():
+            try:
+                if synthesis.method == "synthesize":
+                    network = synthesize_fc_dpdn(
+                        function, name=name, style=synthesis.decomposition_style
+                    )
+                else:
+                    genuine = build_genuine_dpdn(function, name=f"{name}_genuine")
+                    network = transform_to_fc(genuine, name=name)
+                if synthesis.enhance:
+                    network = enhance_fc_dpdn(network, name=name)
+            except FlowError:
+                raise
+            except Exception as error:
+                raise FlowError(
+                    f"output {name!r}: {synthesis.method} failed: {error}"
+                ) from error
+            networks[name] = network
+        return networks, {
+            "method": synthesis.method,
+            "networks": len(networks),
+            "devices": sum(network.device_count() for network in networks.values()),
+        }
+
+    def _compute_verification(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        synthesis = self.config.synthesis
+        expressions = self.expressions()
+        reports: Dict[str, Any] = {}
+        failures: List[str] = []
+        for name, network in self.networks().items():
+            report = verify_gate(
+                network,
+                expressions[name],
+                require_constant_depth=synthesis.enhance,
+                require_no_early_propagation=synthesis.enhance,
+            )
+            reports[name] = report
+            if not report.passed:
+                failures.append(name)
+        if failures:
+            detail = "\n\n".join(reports[name].describe() for name in failures)
+            raise FlowError(
+                f"verification failed for outputs {failures}:\n{detail}"
+            )
+        return reports, {"passed": True, "networks": len(reports)}
+
+    def _compute_library(self) -> Tuple[Dict[str, Cell], Dict[str, Any]]:
+        cells_config = self.config.cells
+        available = {spec.name: spec for spec in STANDARD_CELL_SPECS}
+        names = cells_config.names or tuple(available)
+        unknown = sorted(set(names) - set(available))
+        if unknown:
+            raise FlowError(
+                f"unknown cells {unknown}; the catalogue provides "
+                f"{sorted(available)}"
+            )
+        cells = build_library(
+            [available[name] for name in names],
+            style=cells_config.decomposition_style,
+        )
+        return cells, {
+            "cells": len(cells),
+            "devices": sum(
+                cell.fully_connected.device_count() for cell in cells.values()
+            ),
+        }
+
+    def _compute_circuit(self) -> Tuple[DifferentialCircuit, Dict[str, Any]]:
+        campaign = self.config.campaign
+        expressions = self.expressions()
+        primary_inputs = None
+        if self.is_sbox_workload:
+            primary_inputs = [f"p{i}" for i in range(4)]
+        circuit = map_expressions(
+            expressions,
+            primary_inputs=primary_inputs,
+            max_fanin=campaign.max_fanin,
+            network_style=campaign.network_style,
+            name=f"{self.config.name}_{campaign.network_style}",
+        )
+        return circuit, {
+            "network_style": campaign.network_style,
+            "gates": circuit.gate_count(),
+            "devices": circuit.device_count(),
+        }
+
+    def _compute_traces(self) -> Tuple[TraceSet, Dict[str, Any]]:
+        campaign = self.config.campaign
+        if campaign.source == "model":
+            if not self.is_sbox_workload:
+                raise FlowError(
+                    "the Hamming-weight model campaign needs the S-box workload"
+                )
+            sbox = self._resolve(get_sbox, campaign.sbox)
+            self._require_key_in_sbox(campaign, sbox)
+            if campaign.model_leakage == "bit":
+                self._require_target_bit_in_sbox(sbox)
+                target_bit = self.config.analysis.target_bit
+            else:
+                target_bit = None
+            traces = acquire_model_traces(
+                key=campaign.key,
+                trace_count=campaign.trace_count,
+                sbox=sbox,
+                noise_std=campaign.noise_std,
+                seed=campaign.seed,
+                target_bit=target_bit,
+            )
+            statistics = energy_statistics(traces.traces.tolist())
+            return traces, {
+                "count": len(traces),
+                "source": f"model/{campaign.model_leakage}",
+                "mean_energy_J": float(statistics.mean),
+                "nsd": float(statistics.nsd),
+            }
+        technology = self._resolve(get_technology, self.config.technology.name)
+        if self.config.technology.overrides:
+            technology = technology.scaled(**self.config.technology.overrides)
+        gate_style = self._resolve(get_gate_style, campaign.gate_style)
+        traces = acquire_circuit_traces(
+            self.circuit(),
+            key=campaign.key,
+            trace_count=campaign.trace_count,
+            technology=technology,
+            gate_style=gate_style.name,
+            noise_std=campaign.noise_std,
+            seed=campaign.seed,
+            warmup_cycles=campaign.warmup_cycles,
+            batch_size=campaign.batch_size,
+        )
+        statistics = energy_statistics(traces.traces.tolist())
+        return traces, {
+            "count": len(traces),
+            "gate_style": gate_style.name,
+            "technology": technology.name,
+            "mean_energy_J": float(statistics.mean),
+            "nsd": float(statistics.nsd),
+        }
+
+    def _compute_analysis(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        if not self.is_sbox_workload:
+            raise FlowError(
+                "the analysis stage needs the S-box workload "
+                "(use DesignFlow.sbox); custom-expression flows stop at traces"
+            )
+        analysis = self.config.analysis
+        sbox = self._resolve(get_sbox, self.config.campaign.sbox)
+        self._require_target_bit_in_sbox(sbox)
+        traces = self.traces()
+        results: Dict[str, Any] = {}
+        details: Dict[str, Any] = {}
+        for attack_name in analysis.attacks:
+            attack = self._resolve(get_attack, attack_name)
+            outcome = attack(traces, sbox, analysis)
+            results[attack_name] = outcome
+            details[attack_name] = (
+                f"{'recovered' if outcome.succeeded else 'resisted'} "
+                f"(rank {outcome.correct_key_rank})"
+            )
+        return results, details

@@ -1,0 +1,297 @@
+"""Named, pluggable backend registries for the pipeline.
+
+Four registries back the string-valued fields of the flow configs:
+
+* :data:`TECHNOLOGIES` -- technology-card factories
+  (``"generic_180nm"`` and friends);
+* :data:`GATE_STYLES` -- differential gate styles: the gate class used
+  for single-gate views plus the discharge rule the charge models use
+  (SABL and CVSL ship as registered backends instead of hard-coded
+  classes);
+* :data:`ATTACKS` -- side-channel analysis methods (difference-of-means
+  DPA and CPA by default);
+* :data:`SBOXES` -- substitution boxes for the crypto workload.
+
+Registering a backend makes it addressable from configs immediately::
+
+    register_technology("lab_45nm", lambda: generic_65nm().scaled(vdd=0.9))
+    flow = DesignFlow.sbox(0xB, config=FlowConfig(
+        technology=TechnologyConfig(name="lab_45nm")))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Generic, Sequence, Tuple, TypeVar
+
+from ..electrical import energy as _energy
+from ..electrical.technology import (
+    Technology,
+    generic_130nm,
+    generic_180nm,
+    generic_65nm,
+)
+from ..network.netlist import DifferentialPullDownNetwork
+from ..power.crypto import AES_SBOX, PRESENT_SBOX
+from ..power.dpa import AttackResult, cpa_correlation, dpa_difference_of_means
+from ..power.trace import TraceSet
+from ..sabl.cvsl import CVSLGate
+from ..sabl.gate import SABLGate
+from .config import AnalysisConfig
+
+__all__ = [
+    "Registry",
+    "UnknownBackendError",
+    "DuplicateBackendError",
+    "GateStyleBackend",
+    "TECHNOLOGIES",
+    "GATE_STYLES",
+    "ATTACKS",
+    "SBOXES",
+    "register_technology",
+    "get_technology",
+    "register_gate_style",
+    "get_gate_style",
+    "register_attack",
+    "get_attack",
+    "register_sbox",
+    "get_sbox",
+]
+
+T = TypeVar("T")
+
+
+class UnknownBackendError(KeyError):
+    """Lookup of a backend name that was never registered."""
+
+    def __init__(self, kind: str, name: str, available: Sequence[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(
+            f"unknown {kind} {name!r}; available: {', '.join(self.available) or '(none)'}"
+        )
+
+    def __str__(self) -> str:  # KeyError would quote the message
+        return self.args[0]
+
+
+class DuplicateBackendError(ValueError):
+    """Registration under a name that is already taken."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        self.kind = kind
+        self.name = name
+        super().__init__(
+            f"{kind} {name!r} is already registered; pass overwrite=True to replace it"
+        )
+
+
+class Registry(Generic[T]):
+    """A small name -> backend mapping with helpful error messages."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, backend: T, overwrite: bool = False) -> T:
+        """Register ``backend`` under ``name``; returns the backend.
+
+        Raises :class:`DuplicateBackendError` unless ``overwrite`` is
+        passed explicitly.
+        """
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if not overwrite and name in self._entries:
+            raise DuplicateBackendError(self.kind, name)
+        self._entries[name] = backend
+        return backend
+
+    def get(self, name: str) -> T:
+        """Backend registered under ``name``.
+
+        Raises :class:`UnknownBackendError` (listing the available
+        names) when the name is unknown.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownBackendError(self.kind, name, self.names()) from None
+
+    def unregister(self, name: str) -> T:
+        """Remove and return the backend registered under ``name``."""
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise UnknownBackendError(self.kind, name, self.names()) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Sorted names of every registered backend."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self.names())})"
+
+
+# ------------------------------------------------------------------ technologies
+
+#: Technology-card factories, keyed by card name.
+TECHNOLOGIES: Registry[Callable[[], Technology]] = Registry("technology")
+
+
+def register_technology(
+    name: str, factory: Callable[[], Technology], overwrite: bool = False
+) -> None:
+    """Register a technology card factory under ``name``."""
+    TECHNOLOGIES.register(name, factory, overwrite=overwrite)
+
+
+def get_technology(name: str) -> Technology:
+    """A fresh instance of the technology card registered under ``name``."""
+    return TECHNOLOGIES.get(name)()
+
+
+register_technology("generic_180nm", generic_180nm)
+register_technology("generic_130nm", generic_130nm)
+register_technology("generic_65nm", generic_65nm)
+
+
+# ------------------------------------------------------------------- gate styles
+
+
+@dataclass(frozen=True)
+class GateStyleBackend:
+    """One differential gate style.
+
+    ``gate_cls`` wraps a DPDN for the single-gate views (charge sweep and
+    transient simulation); ``discharge_roots`` is the charge-model rule:
+    which DPDN nodes are pulled low during evaluation.
+    """
+
+    name: str
+    gate_cls: Callable[..., object]
+    discharge_roots: Callable[[DifferentialPullDownNetwork], Tuple[str, ...]]
+
+    def make_gate(self, dpdn: DifferentialPullDownNetwork, **kwargs):
+        """Instantiate the style's gate around ``dpdn``."""
+        return self.gate_cls(dpdn, **kwargs)
+
+
+class _GateStyleRegistry(Registry[GateStyleBackend]):
+    """Keeps the charge models' discharge rules in sync on removal."""
+
+    def unregister(self, name: str) -> GateStyleBackend:
+        backend = super().unregister(name)
+        _energy.unregister_gate_style_roots(name)
+        return backend
+
+
+#: Differential gate styles, keyed by style name.
+GATE_STYLES: Registry[GateStyleBackend] = _GateStyleRegistry("gate style")
+
+
+def register_gate_style(
+    name: str,
+    gate_cls: Callable[..., object],
+    discharge_roots: Callable[[DifferentialPullDownNetwork], Tuple[str, ...]],
+    overwrite: bool = False,
+) -> GateStyleBackend:
+    """Register a gate style and plug its discharge rule into the charge models.
+
+    After registration the style name is accepted everywhere a
+    ``gate_style`` string is: :class:`repro.electrical.energy.EventEnergyModel`,
+    the circuit simulators, trace acquisition and the flow configs.
+
+    Without ``overwrite`` the name must be new to *both* registries --
+    including rules plugged directly into the charge models via
+    :func:`repro.electrical.register_gate_style_roots` -- so an existing
+    discharge rule is never replaced silently.
+    """
+    if not overwrite and name in _energy.known_gate_styles():
+        raise DuplicateBackendError("gate style", name)
+    backend = GateStyleBackend(name, gate_cls, discharge_roots)
+    GATE_STYLES.register(name, backend, overwrite=overwrite)
+    _energy.register_gate_style_roots(name, discharge_roots, overwrite=True)
+    return backend
+
+
+def get_gate_style(name: str) -> GateStyleBackend:
+    """The gate style backend registered under ``name``."""
+    return GATE_STYLES.get(name)
+
+
+# The built-in styles already carry their discharge rules in the energy
+# module; only the backend wrappers need registering here.
+for _name, _cls, _roots in (
+    ("sabl", SABLGate, _energy._sabl_discharge_roots),
+    ("cvsl", CVSLGate, _energy._cvsl_discharge_roots),
+):
+    GATE_STYLES.register(_name, GateStyleBackend(_name, _cls, _roots))
+del _name, _cls, _roots
+
+
+# ----------------------------------------------------------------------- attacks
+
+#: An attack backend: ``(traces, sbox, analysis_config) -> AttackResult``.
+AttackFn = Callable[[TraceSet, Sequence[int], AnalysisConfig], AttackResult]
+
+#: Side-channel attack methods, keyed by short name.
+ATTACKS: Registry[AttackFn] = Registry("attack")
+
+
+def register_attack(name: str, attack: AttackFn, overwrite: bool = False) -> None:
+    """Register an attack backend under ``name``."""
+    ATTACKS.register(name, attack, overwrite=overwrite)
+
+
+def get_attack(name: str) -> AttackFn:
+    """The attack backend registered under ``name``."""
+    return ATTACKS.get(name)
+
+
+def _dom_attack(
+    traces: TraceSet, sbox: Sequence[int], config: AnalysisConfig
+) -> AttackResult:
+    return dpa_difference_of_means(
+        traces, sbox, target_bit=config.target_bit, key_space=config.key_space
+    )
+
+
+def _cpa_attack(
+    traces: TraceSet, sbox: Sequence[int], config: AnalysisConfig
+) -> AttackResult:
+    return cpa_correlation(traces, sbox, key_space=config.key_space)
+
+
+register_attack("dom", _dom_attack)
+register_attack("cpa", _cpa_attack)
+
+
+# ------------------------------------------------------------------------ sboxes
+
+#: Substitution boxes, keyed by cipher name.
+SBOXES: Registry[Tuple[int, ...]] = Registry("sbox")
+
+
+def register_sbox(name: str, table: Sequence[int], overwrite: bool = False) -> None:
+    """Register a substitution box (a permutation table) under ``name``."""
+    table = tuple(int(value) for value in table)
+    size = len(table)
+    if size < 2 or size & (size - 1):
+        raise ValueError(f"sbox size must be a power of two >= 2, got {size}")
+    SBOXES.register(name, table, overwrite=overwrite)
+
+
+def get_sbox(name: str) -> Tuple[int, ...]:
+    """The S-box registered under ``name``."""
+    return SBOXES.get(name)
+
+
+register_sbox("present", PRESENT_SBOX)
+register_sbox("aes", AES_SBOX)

@@ -1,0 +1,148 @@
+"""Stage results and reports of a design flow run.
+
+Each pipeline stage produces a :class:`FlowResult`: the stage's value
+(networks, circuits, traces, attack results, ...) plus a JSON-friendly
+``details`` summary and the wall-clock time the stage took.  A completed
+run is collected into a :class:`FlowReport`, which wires into
+:mod:`repro.reporting` for table rendering and experiment records and
+serialises to JSON next to the flow config that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping
+
+from ..reporting.results import ExperimentResult
+from ..reporting.tables import format_table
+from .config import FlowConfig
+
+__all__ = ["FlowResult", "FlowReport"]
+
+
+@dataclass
+class FlowResult:
+    """The outcome of one pipeline stage.
+
+    Attributes:
+        stage: stage name (``"synthesis"``, ``"traces"``, ...).
+        value: the stage's Python value (not serialised).
+        details: JSON-friendly summary of the value.
+        elapsed: wall-clock seconds the stage took to compute.
+    """
+
+    stage: str
+    value: Any
+    details: Dict[str, Any] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable record of the stage (summary only, not the value)."""
+        return {
+            "stage": self.stage,
+            "elapsed_s": round(self.elapsed, 6),
+            "details": self.details,
+        }
+
+    def details_text(self) -> str:
+        """The details dict rendered as ``key=value`` pairs."""
+        return ", ".join(f"{key}={value}" for key, value in self.details.items())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return f"[{self.stage}] {self.details_text()} ({self.elapsed * 1e3:.1f} ms)"
+
+
+class FlowReport:
+    """Ordered collection of stage results from one flow run."""
+
+    def __init__(
+        self, config: FlowConfig, results: Mapping[str, FlowResult]
+    ) -> None:
+        self.config = config
+        self._results: Dict[str, FlowResult] = dict(results)
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    def stages(self) -> List[str]:
+        """Names of the stages the run computed, in execution order."""
+        return list(self._results)
+
+    def __getitem__(self, stage: str) -> FlowResult:
+        return self._results[stage]
+
+    def __contains__(self, stage: str) -> bool:
+        return stage in self._results
+
+    def __iter__(self) -> Iterator[FlowResult]:
+        return iter(self._results.values())
+
+    # -------------------------------------------------------------- exports
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable record of the whole run (config + stage summaries)."""
+        return {
+            "flow": self.name,
+            "config": self.config.to_dict(),
+            "stages": [result.to_dict() for result in self],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format_summary(self) -> str:
+        """Stage-by-stage text table (via :mod:`repro.reporting`)."""
+        rows = [
+            [result.stage, f"{result.elapsed * 1e3:.1f}", result.details_text()]
+            for result in self
+        ]
+        return format_table(
+            ["stage", "time [ms]", "details"],
+            rows,
+            title=f"DesignFlow {self.name!r}",
+        )
+
+    def to_experiment_results(self) -> List[ExperimentResult]:
+        """Experiment records for the analysis stage.
+
+        The paper's claim is binary: the fully connected implementation
+        resists the attacks that recover the key from a conventional
+        one.  Each configured attack becomes one
+        :class:`~repro.reporting.results.ExperimentResult` whose
+        ``matches_shape`` records whether the outcome matches that claim
+        for the configured network style.
+        """
+        if "analysis" not in self._results:
+            return []
+        campaign = self.config.campaign
+        protected = campaign.source == "circuit" and campaign.network_style == "fc"
+        expected = "key not recovered" if protected else "key recovered"
+        implementation = (
+            "Hamming-weight model"
+            if campaign.source == "model"
+            else campaign.network_style
+        )
+        records: List[ExperimentResult] = []
+        for attack_name, attack in self["analysis"].value.items():
+            measured = (
+                f"best guess {attack.best_guess:#x} "
+                f"(correct key rank {attack.correct_key_rank})"
+            )
+            matches = attack.succeeded != protected
+            records.append(
+                ExperimentResult(
+                    experiment_id=f"{self.name}/{attack_name}",
+                    description=(
+                        f"{attack_name} attack on the {implementation} "
+                        f"implementation ({campaign.trace_count} traces)"
+                    ),
+                    paper_value=expected,
+                    measured_value=measured,
+                    matches_shape=matches,
+                )
+            )
+        return records

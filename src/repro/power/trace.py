@@ -16,17 +16,22 @@ measurements.  Two acquisition back-ends exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..sabl.circuit import DifferentialCircuit, map_expressions
-from ..sabl.simulator import CircuitPowerSimulator
-from ..electrical.technology import Technology, generic_180nm
+from ..sabl.simulator import BatchedCircuitEnergyModel, CircuitPowerSimulator
+from ..electrical.technology import Technology
 from .crypto import PRESENT_SBOX, bits_of, hamming_weight, keyed_sbox_expressions
 
 __all__ = ["TraceSet", "build_sbox_circuit", "acquire_circuit_traces", "acquire_model_traces"]
+
+
+def _nibble_matrix(values: np.ndarray, width: int = 4) -> np.ndarray:
+    """Little-endian bit matrix of a vector of nibbles (column ``i`` = bit i)."""
+    return ((values[:, None] >> np.arange(width)) & 1).astype(bool)
 
 
 @dataclass
@@ -84,6 +89,7 @@ def acquire_circuit_traces(
     noise_std: float = 0.0,
     seed: int = 2005,
     warmup_cycles: int = 4,
+    batch_size: Optional[int] = 1024,
 ) -> TraceSet:
     """Record one power sample per cycle from the gate-level charge model.
 
@@ -93,16 +99,41 @@ def acquire_circuit_traces(
     ``warmup_cycles`` random cycles are simulated before recording so the
     internal charge states start from a realistic steady state rather
     than the artificial all-charged reset state.
+
+    ``batch_size`` selects the vectorized acquisition back-end
+    (:class:`repro.sabl.simulator.BatchedCircuitEnergyModel`), which
+    computes the campaign as NumPy array operations in chunks of that
+    many traces; pass ``None`` to force the original per-trace Python
+    loop (kept for cross-checking and benchmarking -- both back-ends
+    draw the same random stream and produce the same traces).
+
+    The plaintext space follows the circuit's primary inputs: plaintext
+    bit ``i`` (little-endian) drives ``circuit.primary_inputs[i]``, so
+    circuits wider than the 4-bit S-box are supported transparently.
     """
+    inputs = list(circuit.primary_inputs)
+    width = len(inputs)
     rng = np.random.default_rng(seed)
-    plaintexts = rng.integers(0, 16, size=trace_count)
-    simulator = CircuitPowerSimulator(circuit, technology=technology, gate_style=gate_style)
-    for plaintext in rng.integers(0, 16, size=warmup_cycles):
-        simulator.step({f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))})
-    energies = np.empty(trace_count, dtype=float)
-    for index, plaintext in enumerate(plaintexts):
-        vector = {f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))}
-        energies[index] = simulator.step(vector).total_energy
+    plaintexts = rng.integers(0, 1 << width, size=trace_count)
+    warmup = rng.integers(0, 1 << width, size=warmup_cycles)
+    if batch_size is not None:
+        model = BatchedCircuitEnergyModel(
+            circuit, technology=technology, gate_style=gate_style
+        )
+        if warmup_cycles:
+            model.energies(_nibble_matrix(warmup, width), batch_size=batch_size)
+        energies = model.energies(_nibble_matrix(plaintexts, width), batch_size=batch_size)
+    else:
+        simulator = CircuitPowerSimulator(
+            circuit, technology=technology, gate_style=gate_style
+        )
+        for plaintext in warmup:
+            vector = dict(zip(inputs, bits_of(int(plaintext), width)))
+            simulator.step(vector)
+        energies = np.empty(trace_count, dtype=float)
+        for index, plaintext in enumerate(plaintexts):
+            vector = dict(zip(inputs, bits_of(int(plaintext), width)))
+            energies[index] = simulator.step(vector).total_energy
     if noise_std > 0.0:
         sigma = noise_std * float(np.mean(energies))
         energies = energies + rng.normal(0.0, sigma, size=trace_count)
@@ -121,6 +152,7 @@ def simulated_energy_predictor(
     technology: Optional[Technology] = None,
     gate_style: str = "sabl",
     warmup_cycles: int = 4,
+    batch_size: Optional[int] = 1024,
 ):
     """Build a per-key-guess energy predictor for profiled (template) CPA.
 
@@ -129,18 +161,28 @@ def simulated_energy_predictor(
     plaintext sequence and returns its per-cycle energies.  Attacking with
     this predictor models the strongest reasonable adversary: one that
     owns an identical device (or a perfect simulator of it) and can
-    profile it for every key guess.
+    profile it for every key guess.  ``batch_size`` behaves as in
+    :func:`acquire_circuit_traces` (``None`` = per-trace Python loop).
     """
     def predict(plaintexts: np.ndarray, guess: int) -> np.ndarray:
         circuit = build_sbox_circuit(
             guess, network_style=network_style, max_fanin=max_fanin, sbox=sbox,
             name=f"predictor_{network_style}_{guess:x}",
         )
+        plaintexts_array = np.asarray(plaintexts, dtype=np.int64)
+        if batch_size is not None:
+            model = BatchedCircuitEnergyModel(
+                circuit, technology=technology, gate_style=gate_style
+            )
+            if warmup_cycles:
+                warmup = np.zeros(warmup_cycles, dtype=np.int64)
+                model.energies(_nibble_matrix(warmup), batch_size=batch_size)
+            return model.energies(_nibble_matrix(plaintexts_array), batch_size=batch_size)
         simulator = CircuitPowerSimulator(circuit, technology=technology, gate_style=gate_style)
         for index in range(warmup_cycles):
             simulator.step({f"p{i}": bit for i, bit in enumerate(bits_of(0, 4))})
-        energies = np.empty(len(plaintexts), dtype=float)
-        for index, plaintext in enumerate(plaintexts):
+        energies = np.empty(len(plaintexts_array), dtype=float)
+        for index, plaintext in enumerate(plaintexts_array):
             vector = {f"p{i}": bit for i, bit in enumerate(bits_of(int(plaintext), 4))}
             energies[index] = simulator.step(vector).total_energy
         return energies
@@ -155,24 +197,38 @@ def acquire_model_traces(
     energy_per_bit: float = 1.0,
     noise_std: float = 0.0,
     seed: int = 2005,
+    target_bit: Optional[int] = None,
 ) -> TraceSet:
-    """Hamming-weight leakage model of an unprotected implementation.
+    """Leakage model of an unprotected implementation.
 
-    Each trace is ``HW(S(p XOR key)) * energy_per_bit`` plus optional
-    Gaussian noise -- the textbook leakage model, used to validate the
-    attack implementation and as the unprotected-CMOS reference.
+    By default each trace is ``HW(S(p XOR key)) * energy_per_bit`` plus
+    optional Gaussian noise -- the textbook Hamming-weight model, used to
+    validate the attack implementation and as the unprotected-CMOS
+    reference.  With ``target_bit`` set, the leakage is that single bit
+    of the S-box output instead (the Kocher-style selection-bit model;
+    note that full Hamming-weight leakage of a 4-bit S-box produces
+    exact difference-of-means ghost peaks, so single-bit DPA needs this
+    variant to demonstrate a recovery).
     """
     rng = np.random.default_rng(seed)
     plaintexts = rng.integers(0, len(sbox), size=trace_count)
-    leakage = np.array(
-        [hamming_weight(sbox[int(p) ^ key]) * energy_per_bit for p in plaintexts],
-        dtype=float,
-    )
+    if target_bit is None:
+        leakage = np.array(
+            [hamming_weight(sbox[int(p) ^ key]) * energy_per_bit for p in plaintexts],
+            dtype=float,
+        )
+        description = f"hamming-weight model (noise={noise_std})"
+    else:
+        leakage = np.array(
+            [((sbox[int(p) ^ key] >> target_bit) & 1) * energy_per_bit for p in plaintexts],
+            dtype=float,
+        )
+        description = f"single-bit model (bit {target_bit}, noise={noise_std})"
     if noise_std > 0.0:
         leakage = leakage + rng.normal(0.0, noise_std * energy_per_bit, size=trace_count)
     return TraceSet(
         plaintexts=plaintexts,
         traces=leakage,
         key=key,
-        description=f"hamming-weight model (noise={noise_std})",
+        description=description,
     )

@@ -6,9 +6,10 @@ from .circuit import Connection, DifferentialCircuit, GateInstance, map_expressi
 from .clocking import PhaseSchedule, clock_waveform, input_rail_waveform, rail_waveforms
 from .cvsl import CVSLGate
 from .gate import SABLGate, TransientResult
-from .simulator import CircuitPowerSimulator, CyclePowerRecord
+from .simulator import BatchedCircuitEnergyModel, CircuitPowerSimulator, CyclePowerRecord
 
 __all__ = [
+    "BatchedCircuitEnergyModel",
     "SABLGate",
     "CVSLGate",
     "TransientResult",

@@ -15,14 +15,16 @@ to its differential power analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..electrical.energy import CycleEnergySimulator
+import numpy as np
+
+from ..electrical.energy import CycleEnergySimulator, EventEnergyModel
 from ..electrical.technology import Technology, generic_180nm
 from .circuit import DifferentialCircuit, GateInstance
 
-__all__ = ["CyclePowerRecord", "CircuitPowerSimulator"]
+__all__ = ["CyclePowerRecord", "CircuitPowerSimulator", "BatchedCircuitEnergyModel"]
 
 
 @dataclass(frozen=True)
@@ -95,3 +97,198 @@ class CircuitPowerSimulator:
     def energies(self, vectors: Sequence[Mapping[str, bool]]) -> List[float]:
         """Convenience: just the per-cycle total energies."""
         return [record.total_energy for record in self.run(vectors)]
+
+
+# ----------------------------------------------------------------- batched model
+
+
+@dataclass
+class _GateTable:
+    """Per-gate lookup tables of the batched energy model.
+
+    A gate with ``k`` inputs sees one of ``2**k`` complementary input
+    events per cycle.  For every event index (little-endian over the
+    DPDN's sorted variables) the table stores which internal nodes the
+    event connects to the discharge roots and the data-independent
+    baseline capacitance (recharged module outputs plus output load), so
+    a whole campaign reduces to NumPy gathers over these tables.
+    """
+
+    gate: GateInstance
+    variables: Tuple[str, ...]
+    internal_caps: np.ndarray  # (n_internal,) capacitance per internal node
+    connected: np.ndarray  # (2**k, n_internal) bool
+    baseline: np.ndarray  # (2**k,) baseline capacitance per event
+
+    def event_index(self, event: Mapping[str, bool]) -> int:
+        index = 0
+        for bit, variable in enumerate(self.variables):
+            if event[variable]:
+                index |= 1 << bit
+        return index
+
+
+class BatchedCircuitEnergyModel:
+    """Vectorized per-cycle supply-energy model of a differential circuit.
+
+    Produces the same per-cycle energies as stepping a
+    :class:`CircuitPowerSimulator` vector by vector (up to floating-point
+    summation order), but computes whole trace campaigns as NumPy array
+    operations instead of per-trace Python loops:
+
+    * gate input events are resolved through per-gate lookup tables built
+      once from the charge model (:class:`~repro.electrical.energy.EventEnergyModel`),
+    * net evaluation is memoised per unique primary-input vector (a 4-bit
+      S-box campaign only ever sees 16 distinct vectors),
+    * the memory effect -- an internal node costs a recharge whenever it
+      is connected after having discharged in an earlier cycle -- is
+      accumulated with vectorized first-occurrence bookkeeping.
+
+    The model is stateful like the sequential simulator: node charge
+    state carries across successive :meth:`energies` calls (and across
+    internal batches), so warm-up cycles can be fed first and discarded.
+    """
+
+    def __init__(
+        self,
+        circuit: DifferentialCircuit,
+        technology: Optional[Technology] = None,
+        gate_style: str = "sabl",
+        output_load: Optional[float] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.technology = technology or generic_180nm()
+        self.gate_style = gate_style
+        self._tables: List[_GateTable] = []
+        for gate in circuit.gates:
+            model = EventEnergyModel(
+                gate.dpdn, self.technology, style=gate_style, output_load=output_load
+            )
+            variables = tuple(gate.dpdn.variables())
+            internal = gate.dpdn.internal_nodes()
+            caps = np.array(
+                [model.capacitances.capacitance(node) for node in internal], dtype=float
+            )
+            event_count = 1 << len(variables)
+            connected = np.zeros((event_count, len(internal)), dtype=bool)
+            baseline = np.empty(event_count, dtype=float)
+            for index in range(event_count):
+                assignment = {
+                    variable: bool((index >> bit) & 1)
+                    for bit, variable in enumerate(variables)
+                }
+                nodes = model.discharged_nodes(assignment)
+                connected[index] = [node in nodes for node in internal]
+                recharged_outputs = [
+                    node for node in (gate.dpdn.x, gate.dpdn.y) if node in nodes
+                ]
+                baseline[index] = (
+                    model.capacitances.total(recharged_outputs) + model.output_load
+                )
+            self._tables.append(
+                _GateTable(
+                    gate=gate,
+                    variables=variables,
+                    internal_caps=caps,
+                    connected=connected,
+                    baseline=baseline,
+                )
+            )
+        # Per unique primary-input vector: event index of every gate.
+        self._event_rows: Dict[Tuple[bool, ...], np.ndarray] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Return every internal node to the precharged state."""
+        # True once a node has discharged (lost its initial precharge).
+        self._discharged = [
+            np.zeros(table.internal_caps.shape, dtype=bool) for table in self._tables
+        ]
+
+    # ------------------------------------------------------------------ events
+
+    def _event_row(self, vector: Tuple[bool, ...]) -> np.ndarray:
+        row = self._event_rows.get(vector)
+        if row is None:
+            inputs = dict(zip(self.circuit.primary_inputs, vector))
+            net_values = self.circuit.evaluate_nets(inputs)
+            row = np.array(
+                [
+                    table.event_index(table.gate.input_event(net_values))
+                    for table in self._tables
+                ],
+                dtype=np.int64,
+            )
+            self._event_rows[vector] = row
+        return row
+
+    def _event_lut(self, input_matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-gate event-index table over the campaign's unique vectors.
+
+        Returns ``(lut, inverse)`` with ``lut[inverse[t]]`` the per-gate
+        event indices of cycle ``t``; the full per-cycle expansion is
+        done batch by batch so ``batch_size`` bounds peak memory.
+        """
+        unique, inverse = np.unique(input_matrix, axis=0, return_inverse=True)
+        lut = np.array(
+            [self._event_row(tuple(map(bool, row))) for row in unique],
+            dtype=np.int64,
+        ).reshape(unique.shape[0], len(self._tables))
+        return lut, inverse.reshape(-1)
+
+    # ---------------------------------------------------------------- energies
+
+    def energies(
+        self,
+        vectors: Union[np.ndarray, Sequence[Mapping[str, bool]]],
+        batch_size: int = 1024,
+    ) -> np.ndarray:
+        """Per-cycle total supply energy of a sequence of input vectors.
+
+        ``vectors`` is either a ``(cycles, inputs)`` boolean array with
+        columns ordered like ``circuit.primary_inputs``, or a sequence of
+        input mappings.  ``batch_size`` bounds the size of the
+        intermediate per-batch arrays; gate charge state carries across
+        batches, so the result is independent of the batch size.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        matrix = self._as_matrix(vectors)
+        total = np.zeros(matrix.shape[0], dtype=float)
+        if matrix.shape[0] == 0:
+            return total
+        lut, inverse = self._event_lut(matrix)
+        for start in range(0, matrix.shape[0], batch_size):
+            stop = min(start + batch_size, matrix.shape[0])
+            self._accumulate(lut[inverse[start:stop]], total[start:stop])
+        return total
+
+    def _as_matrix(self, vectors) -> np.ndarray:
+        if isinstance(vectors, np.ndarray):
+            matrix = vectors.astype(bool, copy=False)
+            if matrix.ndim != 2 or matrix.shape[1] != len(self.circuit.primary_inputs):
+                raise ValueError(
+                    f"input matrix must have shape (cycles, "
+                    f"{len(self.circuit.primary_inputs)})"
+                )
+            return matrix
+        return np.array(
+            [[bool(vector[name]) for name in self.circuit.primary_inputs] for vector in vectors],
+            dtype=bool,
+        ).reshape(len(vectors), len(self.circuit.primary_inputs))
+
+    def _accumulate(self, events: np.ndarray, out: np.ndarray) -> None:
+        """Add every gate's per-cycle energy for one batch into ``out``."""
+        for position, table in enumerate(self._tables):
+            indices = events[:, position]
+            connected = table.connected[indices]  # (cycles, n_internal)
+            capacitance = connected @ table.internal_caps
+            touched = connected.any(axis=0)
+            # The first time a still-precharged node is connected it
+            # discharges for free; every later connection costs a recharge.
+            fresh = touched & ~self._discharged[position]
+            if fresh.any():
+                first_cycle = connected[:, fresh].argmax(axis=0)
+                np.subtract.at(capacitance, first_cycle, table.internal_caps[fresh])
+            self._discharged[position] |= touched
+            out += self.technology.switching_energy(table.baseline[indices] + capacitance)

@@ -1,20 +1,13 @@
-"""Shared fixtures and hypothesis strategies for the test-suite."""
+"""Shared fixtures for the test-suite."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.boolexpr import And, Not, Or, Var, Xor, parse
+from repro.boolexpr import parse
 from repro.core import synthesize_fc_dpdn
 from repro.electrical import generic_180nm
 from repro.network import build_genuine_dpdn
-
-try:
-    from hypothesis import strategies as st
-
-    HAVE_HYPOTHESIS = True
-except Exception:  # pragma: no cover - hypothesis is an install-time dependency
-    HAVE_HYPOTHESIS = False
 
 
 # --------------------------------------------------------------------------- fixtures
@@ -69,24 +62,7 @@ def representative_function(request):
 
 
 # --------------------------------------------------------------------------- strategies
-
-
-if HAVE_HYPOTHESIS:
-
-    _VARIABLE_NAMES = ("A", "B", "C", "D")
-
-    def expression_strategy(max_leaves: int = 8, variables=_VARIABLE_NAMES):
-        """Hypothesis strategy producing random Boolean expressions."""
-        literals = st.sampled_from(variables).map(Var) | st.sampled_from(variables).map(
-            lambda name: Not(Var(name))
-        )
-
-        def extend(children):
-            return (
-                st.tuples(children, children).map(lambda pair: And(*pair))
-                | st.tuples(children, children).map(lambda pair: Or(*pair))
-                | st.tuples(children, children).map(lambda pair: Xor(*pair))
-                | children.map(Not)
-            )
-
-        return st.recursive(literals, extend, max_leaves=max_leaves)
+#
+# Hypothesis strategies live in ``tests/strategies.py``; import them from
+# there (``from strategies import expression_strategy``), not from this
+# conftest, so that collection from the repository root is unambiguous.

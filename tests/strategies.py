@@ -1,0 +1,42 @@
+"""Shared hypothesis strategies for the test-suite.
+
+This module lives next to the tests (rather than inside ``conftest.py``)
+so that test modules can import it explicitly: a bare
+``from conftest import ...`` is ambiguous when pytest collects from the
+repository root, because ``benchmarks/conftest.py`` is imported first
+under the same ``conftest`` module name.
+"""
+
+from __future__ import annotations
+
+from repro.boolexpr import And, Not, Or, Var, Xor
+
+try:
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except Exception:  # pragma: no cover - hypothesis is an install-time dependency
+    HAVE_HYPOTHESIS = False
+
+__all__ = ["HAVE_HYPOTHESIS", "expression_strategy"]
+
+_VARIABLE_NAMES = ("A", "B", "C", "D")
+
+
+def expression_strategy(max_leaves: int = 8, variables=_VARIABLE_NAMES):
+    """Hypothesis strategy producing random Boolean expressions."""
+    if not HAVE_HYPOTHESIS:  # pragma: no cover - guarded by importorskip in tests
+        raise RuntimeError("hypothesis is not installed")
+    literals = st.sampled_from(variables).map(Var) | st.sampled_from(variables).map(
+        lambda name: Not(Var(name))
+    )
+
+    def extend(children):
+        return (
+            st.tuples(children, children).map(lambda pair: And(*pair))
+            | st.tuples(children, children).map(lambda pair: Or(*pair))
+            | st.tuples(children, children).map(lambda pair: Xor(*pair))
+            | children.map(Not)
+        )
+
+    return st.recursive(literals, extend, max_leaves=max_leaves)

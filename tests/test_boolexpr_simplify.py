@@ -7,7 +7,7 @@ from repro.boolexpr import FALSE, TRUE, Var, equivalent, parse, simplify, simpli
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 
-from conftest import expression_strategy
+from strategies import expression_strategy
 
 
 class TestConstantFolding:

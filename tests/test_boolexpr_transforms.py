@@ -27,7 +27,7 @@ from repro.boolexpr.transforms import is_nnf
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 
-from conftest import expression_strategy
+from strategies import expression_strategy
 
 
 class TestLiterals:

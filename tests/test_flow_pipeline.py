@@ -1,0 +1,302 @@
+"""End-to-end tests of the DesignFlow pipeline, configs and batching."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.flow import (
+    AnalysisConfig,
+    CampaignConfig,
+    CellConfig,
+    ConfigError,
+    DesignFlow,
+    FlowConfig,
+    FlowError,
+    SynthesisConfig,
+    TechnologyConfig,
+)
+from repro.power import PRESENT_SBOX, acquire_circuit_traces, build_sbox_circuit
+
+
+# ----------------------------------------------------------------------- config
+
+
+class TestConfigs:
+    def test_flow_config_round_trips_through_dict(self):
+        config = FlowConfig(
+            name="roundtrip",
+            synthesis=SynthesisConfig(method="transform", decomposition="balanced"),
+            technology=TechnologyConfig(name="generic_130nm", overrides={"vdd": 1.1}),
+            cells=CellConfig(names=("AND2", "OR2")),
+            campaign=CampaignConfig(key=0x5, trace_count=64, noise_std=0.01),
+            analysis=AnalysisConfig(attacks=("cpa",), target_bit=2),
+        )
+        rebuilt = FlowConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_to_dict_is_json_serialisable(self):
+        config = FlowConfig(cells=CellConfig(names=("AND2",)))
+        json.dumps(config.to_dict())
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            FlowConfig.from_dict({"name": "x", "turbo": True})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"method": "magic"},
+            {"decomposition": "spiral"},
+        ],
+    )
+    def test_synthesis_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            SynthesisConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"key": -1},
+            {"trace_count": 0},
+            {"network_style": "open"},
+            {"max_fanin": 1},
+            {"noise_std": -0.1},
+            {"batch_size": 0},
+            {"source": "oscilloscope"},
+            {"model_leakage": "cubic"},
+        ],
+    )
+    def test_campaign_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            CampaignConfig(**kwargs)
+
+    def test_technology_override_names_validated(self):
+        with pytest.raises(ConfigError, match="unknown technology overrides"):
+            TechnologyConfig(overrides={"not_a_field": 1.0})
+
+    def test_analysis_validation(self):
+        with pytest.raises(ConfigError):
+            AnalysisConfig(attacks=())
+        with pytest.raises(ConfigError):
+            AnalysisConfig(target_bit=9)
+
+    def test_replace_revalidates(self):
+        config = CampaignConfig()
+        with pytest.raises(ConfigError):
+            config.replace(trace_count=-5)
+
+
+# --------------------------------------------------------------------- pipeline
+
+
+@pytest.fixture(scope="module")
+def fc_flow():
+    flow = DesignFlow.sbox(
+        key=0xB, trace_count=600, noise_std=0.002, max_fanin=3, seed=7,
+        config=FlowConfig(
+            name="fc_flow",
+            cells=CellConfig(names=("AND2", "OR2", "XOR2")),
+            analysis=AnalysisConfig(attacks=("dom", "cpa"), target_bit=2),
+        ),
+    )
+    flow.run()
+    return flow
+
+
+class TestDesignFlow:
+    def test_full_run_covers_all_stages(self, fc_flow):
+        assert fc_flow.computed_stages() == (
+            "expressions", "synthesis", "verification", "library",
+            "circuit", "traces", "analysis",
+        )
+
+    def test_stage_results_are_cached(self, fc_flow):
+        assert fc_flow.result("traces") is fc_flow.result("traces")
+        assert fc_flow.result("circuit").value is fc_flow.circuit()
+
+    def test_invalidate_drops_downstream_only(self, fc_flow):
+        circuit_result = fc_flow.result("circuit")
+        synthesis_result = fc_flow.result("synthesis")
+        fc_flow.invalidate("circuit")
+        assert "traces" not in fc_flow.computed_stages()
+        assert "analysis" not in fc_flow.computed_stages()
+        assert fc_flow.result("synthesis") is synthesis_result
+        # Recompute: a fresh circuit result replaces the dropped one.
+        assert fc_flow.result("circuit") is not circuit_result
+        fc_flow.run()
+
+    def test_synthesized_networks_verify(self, fc_flow):
+        reports = fc_flow.verification()
+        assert set(reports) == set(fc_flow.expressions())
+        assert all(report.passed for report in reports.values())
+
+    def test_library_stage_builds_selected_cells(self, fc_flow):
+        assert set(fc_flow.library()) == {"AND2", "OR2", "XOR2"}
+
+    def test_protected_circuit_resists_dom_where_model_leaks(self, fc_flow):
+        # The paper's claim through the new API: single-bit DPA recovers
+        # the key from the unprotected leakage model but not from the
+        # fully connected circuit.
+        protected = fc_flow.analysis()["dom"]
+        assert not protected.succeeded
+
+        unprotected = DesignFlow.sbox(
+            key=0xB, source="model", model_leakage="bit", trace_count=600,
+            noise_std=0.25, seed=7,
+            config=FlowConfig(
+                name="model_flow",
+                analysis=AnalysisConfig(attacks=("dom",), target_bit=2),
+            ),
+        )
+        unprotected.run(["traces", "analysis"])
+        assert unprotected.analysis()["dom"].succeeded
+
+    def test_fc_traces_nearly_constant(self, fc_flow):
+        details = fc_flow.result("traces").details
+        assert details["nsd"] < 0.01
+
+    def test_report_exports(self, fc_flow):
+        report = fc_flow.report()
+        payload = json.loads(report.to_json())
+        assert payload["flow"] == "fc_flow"
+        assert [entry["stage"] for entry in payload["stages"]] == list(
+            fc_flow.computed_stages()
+        )
+        summary = report.format_summary()
+        assert "traces" in summary and "analysis" in summary
+        records = report.to_experiment_results()
+        assert len(records) == 2
+        assert all(record.matches_shape for record in records)
+
+    def test_custom_expression_flow_stops_at_traces(self):
+        flow = DesignFlow(
+            {"F": "(A | B) & C"},
+            FlowConfig(name="custom", campaign=CampaignConfig(trace_count=32)),
+        )
+        report = flow.run()
+        assert "analysis" not in report.stages()
+        assert len(flow.traces()) == 32
+        with pytest.raises(FlowError, match="S-box"):
+            flow.analysis()
+
+    def test_expressions_accept_parsed_objects(self):
+        from repro import parse
+
+        flow = DesignFlow({"F": parse("A & B")})
+        assert flow.expressions()["F"] is not None
+
+    def test_bad_expression_raises_flow_error(self):
+        flow = DesignFlow({"F": "A &&& B"})
+        with pytest.raises(FlowError, match="cannot parse"):
+            flow.expressions()
+
+    def test_unknown_cells_listed(self):
+        flow = DesignFlow.sbox(config=FlowConfig(cells=CellConfig(names=("NAND9",))))
+        with pytest.raises(FlowError, match="NAND9"):
+            flow.library()
+
+    def test_transform_method_flow(self):
+        flow = DesignFlow(
+            {"F": "(A | B) & C"},
+            FlowConfig(name="transform", synthesis=SynthesisConfig(method="transform")),
+        )
+        reports = flow.verification()
+        assert reports["F"].passed
+
+    def test_enhanced_flow_checks_constant_depth(self):
+        flow = DesignFlow(
+            {"F": "(A & B) | C"},
+            FlowConfig(name="enhanced", synthesis=SynthesisConfig(enhance=True)),
+        )
+        assert flow.verification()["F"].passed
+
+    def test_genuine_style_flow_runs(self):
+        flow = DesignFlow.sbox(
+            key=0x3, network_style="genuine", trace_count=64, max_fanin=3, seed=3
+        )
+        details = flow.result("traces").details
+        assert details["count"] == 64
+
+    def test_unknown_stage_rejected(self, fc_flow):
+        with pytest.raises(FlowError, match="unknown stage"):
+            fc_flow.result("deploy")
+
+    def test_target_bit_outside_sbox_width_rejected(self):
+        flow = DesignFlow.sbox(
+            key=0x3, trace_count=16,
+            config=FlowConfig(analysis=AnalysisConfig(attacks=("dom",), target_bit=6)),
+        )
+        with pytest.raises(FlowError, match="target_bit 6"):
+            flow.analysis()
+
+    def test_bit_model_traces_reject_out_of_range_target_bit(self):
+        flow = DesignFlow.sbox(
+            key=0x3, source="model", model_leakage="bit", trace_count=16,
+            config=FlowConfig(analysis=AnalysisConfig(attacks=("dom",), target_bit=5)),
+        )
+        with pytest.raises(FlowError, match="target_bit 5"):
+            flow.traces()
+
+    def test_default_run_skips_library_without_configured_cells(self):
+        flow = DesignFlow.sbox(key=0x2, trace_count=16, seed=1)
+        report = flow.run()
+        assert "library" not in report.stages()
+        assert "analysis" in report.stages()
+
+    def test_unknown_backend_in_config_raises_flow_error(self):
+        flow = DesignFlow.sbox(key=0x2, gate_style="wddl", trace_count=16)
+        with pytest.raises(FlowError, match="wddl.*available.*sabl"):
+            flow.traces()
+
+    def test_key_bounds_follow_selected_sbox(self):
+        # A byte key is valid config but must not fit the 4-bit box...
+        flow = DesignFlow.sbox(key=0x3A, trace_count=16)
+        with pytest.raises(FlowError, match="does not fit"):
+            flow.expressions()
+        # ... while the 256-entry AES box accepts it for model campaigns.
+        wide = DesignFlow.sbox(
+            key=0x3A, source="model", sbox="aes", trace_count=16, seed=2
+        )
+        assert len(wide.traces()) == 16
+
+
+# --------------------------------------------------------------------- batching
+
+
+class TestBatchedAcquisition:
+    @pytest.mark.parametrize("network_style", ["fc", "genuine"])
+    def test_batched_equals_sequential(self, network_style):
+        circuit = build_sbox_circuit(0xB, network_style, max_fanin=3)
+        sequential = acquire_circuit_traces(
+            circuit, 0xB, 200, noise_std=0.01, seed=3, batch_size=None
+        )
+        batched = acquire_circuit_traces(
+            circuit, 0xB, 200, noise_std=0.01, seed=3, batch_size=64
+        )
+        assert np.array_equal(sequential.plaintexts, batched.plaintexts)
+        assert np.allclose(sequential.traces, batched.traces, rtol=1e-12, atol=0.0)
+
+    def test_batch_size_does_not_change_result(self):
+        circuit = build_sbox_circuit(0x5, "genuine", max_fanin=2)
+        small = acquire_circuit_traces(circuit, 0x5, 150, seed=9, batch_size=7)
+        large = acquire_circuit_traces(circuit, 0x5, 150, seed=9, batch_size=4096)
+        assert np.allclose(small.traces, large.traces, rtol=1e-12, atol=0.0)
+
+    def test_empty_campaign_returns_empty_energies(self):
+        from repro.sabl import BatchedCircuitEnergyModel
+
+        circuit = build_sbox_circuit(0x1, "fc", max_fanin=3)
+        model = BatchedCircuitEnergyModel(circuit)
+        energies = model.energies(np.zeros((0, 4), dtype=bool))
+        assert energies.shape == (0,)
+
+    def test_flow_batched_matches_loop_campaign(self):
+        base = FlowConfig(name="batching")
+        batched = DesignFlow.sbox(key=0x9, trace_count=100, seed=5, config=base)
+        loop = DesignFlow.sbox(
+            key=0x9, trace_count=100, seed=5, batch_size=None, config=base
+        )
+        assert np.allclose(
+            batched.traces().traces, loop.traces().traces, rtol=1e-12, atol=0.0
+        )

@@ -21,7 +21,7 @@ from repro.network import (
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import assume, given, settings, HealthCheck
 
-from conftest import expression_strategy
+from strategies import expression_strategy
 
 
 def _non_constant(expr):
