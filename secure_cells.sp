@@ -1,0 +1,238 @@
+* DPA-hardened cell library: fully connected DPDN subcircuits
+
+* Differential pull-down network: BUF_fc
+* function: A
+.subckt BUF_FC X Y Z A A_b
+MM1 X A Z 0 nmos W=0.500u L=0.180u
+MM2 Y A_b Z 0 nmos W=0.500u L=0.180u
+.ends BUF_FC
+
+* Differential pull-down network: AND2_fc
+* function: A & B
+.subckt AND2_FC X Y Z A A_b B B_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 n1 B Z 0 nmos W=0.500u L=0.180u
+MM4 Y B_b Z 0 nmos W=0.500u L=0.180u
+.ends AND2_FC
+
+* Differential pull-down network: OR2_fc
+* function: A | B
+.subckt OR2_FC X Y Z A A_b B B_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 X B Z 0 nmos W=0.500u L=0.180u
+MM4 n1 B_b Z 0 nmos W=0.500u L=0.180u
+.ends OR2_FC
+
+* Differential pull-down network: XOR2_fc
+* function: (A & ~B) | (~A & B)
+.subckt XOR2_FC X Y Z A A_b B B_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B_b n1 0 nmos W=0.500u L=0.180u
+MM4 Y B n1 0 nmos W=0.500u L=0.180u
+MM5 X A_b n3 0 nmos W=0.500u L=0.180u
+MM6 n1 A n3 0 nmos W=0.500u L=0.180u
+MM7 n3 B Z 0 nmos W=0.500u L=0.180u
+MM8 n1 B_b Z 0 nmos W=0.500u L=0.180u
+.ends XOR2_FC
+
+* Differential pull-down network: AND3_fc
+* function: A & B & C
+.subckt AND3_FC X Y Z A A_b B B_b C C_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 n1 B n2 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n2 0 nmos W=0.500u L=0.180u
+MM5 n2 C Z 0 nmos W=0.500u L=0.180u
+MM6 Y C_b Z 0 nmos W=0.500u L=0.180u
+.ends AND3_FC
+
+* Differential pull-down network: OR3_fc
+* function: A | B | C
+.subckt OR3_FC X Y Z A A_b B B_b C C_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 X B n2 0 nmos W=0.500u L=0.180u
+MM4 n1 B_b n2 0 nmos W=0.500u L=0.180u
+MM5 X C Z 0 nmos W=0.500u L=0.180u
+MM6 n2 C_b Z 0 nmos W=0.500u L=0.180u
+.ends OR3_FC
+
+* Differential pull-down network: AND4_fc
+* function: A & B & C & D
+.subckt AND4_FC X Y Z A A_b B B_b C C_b D D_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 n1 B n2 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n2 0 nmos W=0.500u L=0.180u
+MM5 n2 C n3 0 nmos W=0.500u L=0.180u
+MM6 Y C_b n3 0 nmos W=0.500u L=0.180u
+MM7 n3 D Z 0 nmos W=0.500u L=0.180u
+MM8 Y D_b Z 0 nmos W=0.500u L=0.180u
+.ends AND4_FC
+
+* Differential pull-down network: OR4_fc
+* function: A | B | C | D
+.subckt OR4_FC X Y Z A A_b B B_b C C_b D D_b
+MM1 X A n1 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM3 X B n2 0 nmos W=0.500u L=0.180u
+MM4 n1 B_b n2 0 nmos W=0.500u L=0.180u
+MM5 X C n3 0 nmos W=0.500u L=0.180u
+MM6 n2 C_b n3 0 nmos W=0.500u L=0.180u
+MM7 X D Z 0 nmos W=0.500u L=0.180u
+MM8 n3 D_b Z 0 nmos W=0.500u L=0.180u
+.ends OR4_FC
+
+* Differential pull-down network: AO21_fc
+* function: (A & B) | C
+.subckt AO21_FC X Y Z A A_b B B_b C C_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B n1 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n1 0 nmos W=0.500u L=0.180u
+MM5 X C Z 0 nmos W=0.500u L=0.180u
+MM6 n1 C_b Z 0 nmos W=0.500u L=0.180u
+.ends AO21_FC
+
+* Differential pull-down network: OA21_fc
+* function: (A | B) & C
+.subckt OA21_FC X Y Z A A_b B B_b C C_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 X B n1 0 nmos W=0.500u L=0.180u
+MM4 n2 B_b n1 0 nmos W=0.500u L=0.180u
+MM5 n1 C Z 0 nmos W=0.500u L=0.180u
+MM6 Y C_b Z 0 nmos W=0.500u L=0.180u
+.ends OA21_FC
+
+* Differential pull-down network: AO22_fc
+* function: (A & B) | (C & D)
+.subckt AO22_FC X Y Z A A_b B B_b C C_b D D_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B n1 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n1 0 nmos W=0.500u L=0.180u
+MM5 X C n3 0 nmos W=0.500u L=0.180u
+MM6 n1 C_b n3 0 nmos W=0.500u L=0.180u
+MM7 n3 D Z 0 nmos W=0.500u L=0.180u
+MM8 n1 D_b Z 0 nmos W=0.500u L=0.180u
+.ends AO22_FC
+
+* Differential pull-down network: OAI22_fc
+* function: (~A & ~B) | (~C & ~D)
+.subckt OAI22_FC X Y Z A A_b B B_b C C_b D D_b
+MM1 X A_b n2 0 nmos W=0.500u L=0.180u
+MM2 Y A n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B_b n1 0 nmos W=0.500u L=0.180u
+MM4 Y B n1 0 nmos W=0.500u L=0.180u
+MM5 X C_b n3 0 nmos W=0.500u L=0.180u
+MM6 n1 C n3 0 nmos W=0.500u L=0.180u
+MM7 n3 D_b Z 0 nmos W=0.500u L=0.180u
+MM8 n1 D Z 0 nmos W=0.500u L=0.180u
+.ends OAI22_FC
+
+* Differential pull-down network: MUX2_fc
+* function: (S & A) | (~S & B)
+.subckt MUX2_FC X Y Z A A_b B B_b S S_b
+MM1 X S n2 0 nmos W=0.500u L=0.180u
+MM2 Y S_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 A n1 0 nmos W=0.500u L=0.180u
+MM4 Y A_b n1 0 nmos W=0.500u L=0.180u
+MM5 X S_b n3 0 nmos W=0.500u L=0.180u
+MM6 n1 S n3 0 nmos W=0.500u L=0.180u
+MM7 n3 B Z 0 nmos W=0.500u L=0.180u
+MM8 n1 B_b Z 0 nmos W=0.500u L=0.180u
+.ends MUX2_FC
+
+* Differential pull-down network: MAJ3_fc
+* function: (A & B) | (B & C) | (A & C)
+.subckt MAJ3_FC X Y Z A A_b B B_b C C_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B n1 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n1 0 nmos W=0.500u L=0.180u
+MM5 X B n4 0 nmos W=0.500u L=0.180u
+MM6 n1 B_b n4 0 nmos W=0.500u L=0.180u
+MM7 n4 C n3 0 nmos W=0.500u L=0.180u
+MM8 n1 C_b n3 0 nmos W=0.500u L=0.180u
+MM9 X A n5 0 nmos W=0.500u L=0.180u
+MM10 n3 A_b n5 0 nmos W=0.500u L=0.180u
+MM11 n5 C Z 0 nmos W=0.500u L=0.180u
+MM12 n3 C_b Z 0 nmos W=0.500u L=0.180u
+.ends MAJ3_FC
+
+* Differential pull-down network: XOR3_fc
+* function: (((A & ~B) | (~A & B)) & ~C) | ((~A | B) & (A | ~B) & C)
+.subckt XOR3_FC X Y Z A A_b B B_b C C_b
+MM1 X A n4 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n4 0 nmos W=0.500u L=0.180u
+MM3 n4 B_b n3 0 nmos W=0.500u L=0.180u
+MM4 Y B n3 0 nmos W=0.500u L=0.180u
+MM5 X A_b n5 0 nmos W=0.500u L=0.180u
+MM6 n3 A n5 0 nmos W=0.500u L=0.180u
+MM7 n5 B n2 0 nmos W=0.500u L=0.180u
+MM8 n3 B_b n2 0 nmos W=0.500u L=0.180u
+MM9 n2 C_b n1 0 nmos W=0.500u L=0.180u
+MM10 Y C n1 0 nmos W=0.500u L=0.180u
+MM11 X A_b n7 0 nmos W=0.500u L=0.180u
+MM12 n1 A n7 0 nmos W=0.500u L=0.180u
+MM13 X B n6 0 nmos W=0.500u L=0.180u
+MM14 n7 B_b n6 0 nmos W=0.500u L=0.180u
+MM15 n6 A n9 0 nmos W=0.500u L=0.180u
+MM16 n1 A_b n9 0 nmos W=0.500u L=0.180u
+MM17 n6 B_b n8 0 nmos W=0.500u L=0.180u
+MM18 n9 B n8 0 nmos W=0.500u L=0.180u
+MM19 n8 C Z 0 nmos W=0.500u L=0.180u
+MM20 n1 C_b Z 0 nmos W=0.500u L=0.180u
+.ends XOR3_FC
+
+* Differential pull-down network: AOI21_fc
+* function: (~A | ~B) & ~C
+.subckt AOI21_FC X Y Z A A_b B B_b C C_b
+MM1 X A_b n2 0 nmos W=0.500u L=0.180u
+MM2 Y A n2 0 nmos W=0.500u L=0.180u
+MM3 X B_b n1 0 nmos W=0.500u L=0.180u
+MM4 n2 B n1 0 nmos W=0.500u L=0.180u
+MM5 n1 C_b Z 0 nmos W=0.500u L=0.180u
+MM6 Y C Z 0 nmos W=0.500u L=0.180u
+.ends AOI21_FC
+
+* Differential pull-down network: OAI21_fc
+* function: (~A & ~B) | ~C
+.subckt OAI21_FC X Y Z A A_b B B_b C C_b
+MM1 X A_b n2 0 nmos W=0.500u L=0.180u
+MM2 Y A n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B_b n1 0 nmos W=0.500u L=0.180u
+MM4 Y B n1 0 nmos W=0.500u L=0.180u
+MM5 X C_b Z 0 nmos W=0.500u L=0.180u
+MM6 n1 C Z 0 nmos W=0.500u L=0.180u
+.ends OAI21_FC
+
+* Differential pull-down network: AO31_fc
+* function: (A & B & C) | D
+.subckt AO31_FC X Y Z A A_b B B_b C C_b D D_b
+MM1 X A n2 0 nmos W=0.500u L=0.180u
+MM2 Y A_b n2 0 nmos W=0.500u L=0.180u
+MM3 n2 B n3 0 nmos W=0.500u L=0.180u
+MM4 Y B_b n3 0 nmos W=0.500u L=0.180u
+MM5 n3 C n1 0 nmos W=0.500u L=0.180u
+MM6 Y C_b n1 0 nmos W=0.500u L=0.180u
+MM7 X D Z 0 nmos W=0.500u L=0.180u
+MM8 n1 D_b Z 0 nmos W=0.500u L=0.180u
+.ends AO31_FC
+
+* Differential pull-down network: MUX2I_fc
+* function: (~S | ~A) & (S | ~B)
+.subckt MUX2I_FC X Y Z A A_b B B_b S S_b
+MM1 X S_b n2 0 nmos W=0.500u L=0.180u
+MM2 Y S n2 0 nmos W=0.500u L=0.180u
+MM3 X A_b n1 0 nmos W=0.500u L=0.180u
+MM4 n2 A n1 0 nmos W=0.500u L=0.180u
+MM5 n1 S n3 0 nmos W=0.500u L=0.180u
+MM6 Y S_b n3 0 nmos W=0.500u L=0.180u
+MM7 n1 B_b Z 0 nmos W=0.500u L=0.180u
+MM8 n3 B Z 0 nmos W=0.500u L=0.180u
+.ends MUX2I_FC
