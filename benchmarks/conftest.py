@@ -8,6 +8,15 @@ log behind EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import importlib.util
+import sys
+from pathlib import Path
+
+# Mirror tests/conftest.py: an uninstalled src-layout checkout runs the
+# suite (and the benchmarks) without the PYTHONPATH=src incantation.
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import pytest
 
 from repro.boolexpr import parse

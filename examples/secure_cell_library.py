@@ -9,9 +9,13 @@ SPICE deck with one subcircuit per protected cell.
 Run with::
 
     python examples/secure_cell_library.py [output.sp]
+
+The deck defaults to ``examples/out/secure_cells.sp`` (the directory is
+created on demand and git-ignored).
 """
 
 import sys
+from pathlib import Path
 
 from repro.core import CellSpec, build_cell, library_statistics
 from repro.electrical import EventEnergyModel
@@ -26,8 +30,11 @@ CUSTOM_CELLS = (
 )
 
 
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "out" / "secure_cells.sp"
+
+
 def main() -> None:
-    output_path = sys.argv[1] if len(sys.argv) > 1 else "secure_cells.sp"
+    output_path = Path(sys.argv[1]) if len(sys.argv) > 1 else DEFAULT_OUTPUT
     technology = get_technology("generic_180nm")
 
     # The full standard catalogue through the pipeline's library stage
@@ -70,6 +77,7 @@ def main() -> None:
 
     decks = [to_spice_subckt(cells[row.name].fully_connected, name=f"{row.name}_FC")
              for row in stats]
+    output_path.parent.mkdir(parents=True, exist_ok=True)
     with open(output_path, "w") as handle:
         handle.write("* DPA-hardened cell library: fully connected DPDN subcircuits\n\n")
         handle.write("\n".join(decks))

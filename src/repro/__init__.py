@@ -64,8 +64,18 @@ from .power import (
     energy_statistics,
 )
 from .power import acquire_circuit_traces as _acquire_circuit_traces
+from .assess import (
+    MTDCurve,
+    StreamingMoments,
+    TVLAResult,
+    make_noise_model,
+    register_noise_model,
+    success_rate_curve,
+    ttest_fixed_vs_random,
+)
 from .flow import (
     AnalysisConfig,
+    AssessmentConfig,
     CampaignConfig,
     CellConfig,
     DesignFlow,
@@ -75,13 +85,14 @@ from .flow import (
     FlowResult,
     SynthesisConfig,
     TechnologyConfig,
+    register_assessment,
     register_attack,
     register_gate_style,
     register_sbox,
     register_technology,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -116,10 +127,20 @@ __all__ = [
     "CellConfig",
     "CampaignConfig",
     "AnalysisConfig",
+    "AssessmentConfig",
     "register_technology",
     "register_gate_style",
     "register_attack",
     "register_sbox",
+    "register_assessment",
+    # assess (leakage assessment)
+    "StreamingMoments",
+    "TVLAResult",
+    "ttest_fixed_vs_random",
+    "register_noise_model",
+    "make_noise_model",
+    "MTDCurve",
+    "success_rate_curve",
     # boolexpr
     "Expr", "Var", "And", "Or", "Not", "Xor", "parse", "truth_table", "equivalent", "vars_",
     # network

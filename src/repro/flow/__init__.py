@@ -17,6 +17,7 @@ Quick start::
 
 from .config import (
     AnalysisConfig,
+    AssessmentConfig,
     CampaignConfig,
     CellConfig,
     ConfigError,
@@ -26,18 +27,22 @@ from .config import (
 )
 from .pipeline import STAGES, DesignFlow, FlowError
 from .registry import (
+    ASSESSMENTS,
     ATTACKS,
     GATE_STYLES,
     SBOXES,
     TECHNOLOGIES,
+    AssessmentMethod,
     DuplicateBackendError,
     GateStyleBackend,
     Registry,
     UnknownBackendError,
+    get_assessment,
     get_attack,
     get_gate_style,
     get_sbox,
     get_technology,
+    register_assessment,
     register_attack,
     register_gate_style,
     register_sbox,
@@ -53,6 +58,7 @@ __all__ = [
     "CellConfig",
     "CampaignConfig",
     "AnalysisConfig",
+    "AssessmentConfig",
     "FlowConfig",
     # registry
     "Registry",
@@ -63,6 +69,8 @@ __all__ = [
     "GATE_STYLES",
     "ATTACKS",
     "SBOXES",
+    "ASSESSMENTS",
+    "AssessmentMethod",
     "register_technology",
     "get_technology",
     "register_gate_style",
@@ -71,6 +79,8 @@ __all__ = [
     "get_attack",
     "register_sbox",
     "get_sbox",
+    "register_assessment",
+    "get_assessment",
     # pipeline
     "STAGES",
     "DesignFlow",

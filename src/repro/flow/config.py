@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..assess.noise import normalize_noise_spec as _normalize_noise_spec
 from ..boolexpr.decompose import DecompositionStyle
 from ..electrical.technology import Technology
 
@@ -28,6 +29,7 @@ __all__ = [
     "CellConfig",
     "CampaignConfig",
     "AnalysisConfig",
+    "AssessmentConfig",
     "FlowConfig",
 ]
 
@@ -293,6 +295,92 @@ class AnalysisConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class AssessmentConfig(_ConfigBase):
+    """The streaming leakage-assessment stage (fixed-vs-random TVLA).
+
+    Attributes:
+        enabled: include the ``assessment`` stage in default
+            :meth:`~repro.flow.pipeline.DesignFlow.run` calls (the stage
+            is always available on demand via ``flow.assessment()``).
+        methods: registered assessment backends
+            (:func:`repro.flow.registry.register_assessment`);
+            ``"ttest"`` (TVLA) and ``"stats"`` (per-class NED/NSD) ship
+            built in.
+        traces_per_class: traces acquired for *each* of the fixed and
+            random classes (the campaign streams ``2 *
+            traces_per_class`` cycles through the accumulators).
+        chunk_size: traces per streamed chunk; bounds peak memory.  The
+            moment accumulation is chunking-invariant (the equivalence
+            tests pin this), but the chunking changes how the campaign
+            RNG is consumed, so two chunk sizes sample statistically
+            equivalent -- not bitwise identical -- campaigns.
+        orders: t-test orders, a subset of ``(1, 2)``.
+        threshold: the ``|t|`` pass/fail threshold (4.5 is the TVLA
+            convention).
+        fixed_plaintext: stimulus of the fixed class (TVLA fixes one
+            input and randomises the other class; bounds are checked
+            against the circuit width when the stage runs).
+        noise: measurement-environment model specs applied to every
+            chunk, e.g. ``({"name": "gaussian", "std": 0.02},
+            {"name": "quantization", "bits": 8})`` -- see
+            :mod:`repro.assess.noise`.  The campaign's ``noise_std``
+            (the environment the trace/analysis stages record) is
+            applied first, before these models.
+        seed: RNG seed of the assessment campaign (stimulus order,
+            class interleaving and noise draws).
+    """
+
+    enabled: bool = False
+    methods: Tuple[str, ...] = ("ttest",)
+    traces_per_class: int = 2000
+    chunk_size: int = 4096
+    orders: Tuple[int, ...] = (1, 2)
+    threshold: float = 4.5
+    fixed_plaintext: int = 0
+    noise: Tuple[Mapping[str, Any], ...] = ()
+    seed: int = 20050307
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "methods", _as_tuple(self.methods))
+        if not self.methods:
+            raise ConfigError("at least one assessment method must be configured")
+        if self.traces_per_class < 2:
+            raise ConfigError(
+                f"traces_per_class must be at least 2 (Welch's t-test needs "
+                f"two samples per class), got {self.traces_per_class}"
+            )
+        if self.chunk_size < 1:
+            raise ConfigError(f"chunk_size must be positive, got {self.chunk_size}")
+        orders = tuple(int(order) for order in _as_tuple(self.orders))
+        object.__setattr__(self, "orders", orders)
+        if not orders:
+            raise ConfigError("at least one t-test order must be configured")
+        bad_orders = sorted({order for order in orders if order not in (1, 2)})
+        if bad_orders:
+            raise ConfigError(f"t-test orders must be in (1, 2), got {bad_orders}")
+        if self.threshold <= 0.0:
+            raise ConfigError(f"threshold must be positive, got {self.threshold}")
+        if self.fixed_plaintext < 0:
+            raise ConfigError(
+                f"fixed_plaintext must be non-negative (the upper bound follows "
+                f"the circuit width and is checked at run time), "
+                f"got {self.fixed_plaintext}"
+            )
+        # A bare name or a single mapping is one spec, not a sequence;
+        # the parsing rule itself is shared with repro.assess.noise.
+        noise = self.noise
+        if isinstance(noise, (str, Mapping)):
+            noise = (noise,)
+        try:
+            specs = tuple(
+                _normalize_noise_spec(spec) for spec in _as_tuple(noise)
+            )
+        except ValueError as error:
+            raise ConfigError(str(error)) from error
+        object.__setattr__(self, "noise", specs)
+
+
+@dataclass(frozen=True)
 class FlowConfig(_ConfigBase):
     """Aggregate configuration of a :class:`~repro.flow.pipeline.DesignFlow`."""
 
@@ -302,6 +390,7 @@ class FlowConfig(_ConfigBase):
     cells: CellConfig = field(default_factory=CellConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -315,4 +404,5 @@ _NESTED_CONFIG_FIELDS = {
     ("FlowConfig", "cells"): CellConfig,
     ("FlowConfig", "campaign"): CampaignConfig,
     ("FlowConfig", "analysis"): AnalysisConfig,
+    ("FlowConfig", "assessment"): AssessmentConfig,
 }

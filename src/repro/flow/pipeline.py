@@ -19,9 +19,14 @@ Two kinds of workload exist:
 
 from __future__ import annotations
 
+import math
 import time
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from ..assess.accumulators import AssessmentChunk
+from ..assess.noise import GaussianAmplitudeNoise, NoiseChain, make_noise_model
 from ..boolexpr.ast import Expr
 from ..boolexpr.parser import parse
 from ..core.enhance import enhance_fc_dpdn
@@ -31,12 +36,20 @@ from ..core.transform import transform_to_fc
 from ..core.verify import verify_gate
 from ..network.build import build_genuine_dpdn
 from ..network.netlist import DifferentialPullDownNetwork
+from ..power.crypto import hamming_weight
 from ..power.metrics import energy_statistics
-from ..power.trace import TraceSet, acquire_circuit_traces, acquire_model_traces
+from ..power.trace import (
+    TraceSet,
+    nibble_matrix,
+    acquire_circuit_traces,
+    acquire_model_traces,
+)
 from ..sabl.circuit import DifferentialCircuit, map_expressions
+from ..sabl.simulator import BatchedCircuitEnergyModel
 from .config import FlowConfig
 from .registry import (
     UnknownBackendError,
+    get_assessment,
     get_attack,
     get_gate_style,
     get_sbox,
@@ -55,6 +68,7 @@ STAGES = (
     "circuit",
     "traces",
     "analysis",
+    "assessment",
 )
 
 #: Direct dependencies of each stage (used for lazy evaluation and
@@ -67,6 +81,7 @@ _DEPENDENCIES: Dict[str, Tuple[str, ...]] = {
     "circuit": ("expressions",),
     "traces": ("circuit",),
     "analysis": ("traces",),
+    "assessment": ("circuit",),
 }
 
 
@@ -150,8 +165,8 @@ class DesignFlow:
     # ----------------------------------------------------------------- stages
 
     def _stage_dependencies(self, stage: str) -> Tuple[str, ...]:
-        # Hamming-weight model campaigns need no mapped circuit.
-        if stage == "traces" and self.config.campaign.source == "model":
+        # Leakage-model campaigns need no mapped circuit.
+        if stage in ("traces", "assessment") and self.config.campaign.source == "model":
             return ()
         return _DEPENDENCIES[stage]
 
@@ -202,6 +217,11 @@ class DesignFlow:
         """Per-attack :class:`~repro.power.dpa.AttackResult` objects."""
         return self.result("analysis").value
 
+    def assessment(self) -> Dict[str, Any]:
+        """Per-method leakage-assessment results (e.g. ``"ttest"`` ->
+        :class:`~repro.assess.ttest.TVLAResult`)."""
+        return self.result("assessment").value
+
     def run(self, stages: Optional[Sequence[str]] = None) -> FlowReport:
         """Compute ``stages`` (default: every applicable stage) and report.
 
@@ -209,10 +229,12 @@ class DesignFlow:
         computed: the crypto-specific ``analysis`` stage is skipped for
         non-S-box workloads (it needs the plaintext/key relation of the
         S-box campaign), the ``library`` stage is skipped when no cells
-        are configured, and a ``source="model"`` campaign -- which
-        measures a leakage model, not a designed circuit -- runs only
-        the trace and analysis stages.  Every skipped stage remains
-        available on demand through its accessor.
+        are configured, a ``source="model"`` campaign -- which measures
+        a leakage model, not a designed circuit -- runs only the trace
+        and analysis stages, and the streaming ``assessment`` stage runs
+        only when :class:`~repro.flow.config.AssessmentConfig` has
+        ``enabled`` set.  Every skipped stage remains available on
+        demand through its accessor.
         """
         if stages is None:
             if self.config.campaign.source == "model":
@@ -223,7 +245,10 @@ class DesignFlow:
                     for stage in STAGES
                     if (stage != "analysis" or self.is_sbox_workload)
                     and (stage != "library" or self.config.cells.names)
+                    and stage != "assessment"
                 ]
+            if self.config.assessment.enabled:
+                stages.append("assessment")
         for stage in stages:
             self.result(stage)
         ordered = {
@@ -466,3 +491,157 @@ class DesignFlow:
                 f"(rank {outcome.correct_key_rank})"
             )
         return results, details
+
+    # ----------------------------------------------------- assessment streaming
+
+    def _assessment_energy_source(self) -> Tuple[int, Callable[[np.ndarray], np.ndarray]]:
+        """The assessment stream's energy backend.
+
+        Returns ``(width, energies)`` where ``width`` is the stimulus bit
+        width and ``energies`` maps a vector of stimulus values to their
+        measured energies.  ``source="circuit"`` wraps a fresh (stateful)
+        :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel` of the
+        mapped circuit, already warmed up; ``source="model"`` evaluates
+        the unprotected leakage model directly.
+        """
+        campaign = self.config.campaign
+        chunk_size = self.config.assessment.chunk_size
+        if campaign.source == "model":
+            if not self.is_sbox_workload:
+                raise FlowError(
+                    "the leakage-model assessment needs the S-box workload"
+                )
+            sbox = self._resolve(get_sbox, campaign.sbox)
+            self._require_key_in_sbox(campaign, sbox)
+            width = (len(sbox) - 1).bit_length()
+            table = np.asarray(sbox, dtype=np.int64)
+            if campaign.model_leakage == "bit":
+                self._require_target_bit_in_sbox(sbox)
+                target_bit = self.config.analysis.target_bit
+                leakage = ((table >> target_bit) & 1).astype(float)
+            else:
+                leakage = np.array(
+                    [float(hamming_weight(value)) for value in sbox], dtype=float
+                )
+
+            def energies(plaintexts: np.ndarray) -> np.ndarray:
+                return leakage[plaintexts ^ campaign.key]
+
+            return width, energies
+
+        circuit = self.circuit()
+        technology = self._resolve(get_technology, self.config.technology.name)
+        if self.config.technology.overrides:
+            technology = technology.scaled(**self.config.technology.overrides)
+        gate_style = self._resolve(get_gate_style, campaign.gate_style)
+        model = BatchedCircuitEnergyModel(
+            circuit, technology=technology, gate_style=gate_style.name
+        )
+        width = len(circuit.primary_inputs)
+
+        if campaign.warmup_cycles:
+            warmup_rng = np.random.default_rng(self.config.assessment.seed)
+            warmup = warmup_rng.integers(0, 1 << width, size=campaign.warmup_cycles)
+            model.energies(nibble_matrix(warmup, width), batch_size=chunk_size)
+
+        def energies(plaintexts: np.ndarray) -> np.ndarray:
+            return model.energies(nibble_matrix(plaintexts, width), batch_size=chunk_size)
+
+        return width, energies
+
+    def _assessment_chunks(self, noise: NoiseChain) -> Iterator[AssessmentChunk]:
+        """Stream the fixed-vs-random campaign in constant memory.
+
+        Each chunk interleaves the two classes with exact final counts
+        (the per-chunk fixed count is drawn hypergeometrically from the
+        remaining budget), simulates its energies through the batched
+        backend and applies the ``noise`` chain -- nothing larger than
+        one chunk is ever materialised.
+        """
+        config = self.config.assessment
+        width, energies = self._assessment_energy_source()
+        if not 0 <= config.fixed_plaintext < (1 << width):
+            raise FlowError(
+                f"fixed_plaintext {config.fixed_plaintext:#x} does not fit the "
+                f"{width}-bit stimulus of flow {self.config.name!r}"
+            )
+        rng = np.random.default_rng(config.seed)
+        remaining_fixed = remaining_random = config.traces_per_class
+        while remaining_fixed or remaining_random:
+            remaining = remaining_fixed + remaining_random
+            count = min(config.chunk_size, remaining)
+            if count == remaining:
+                fixed_count = remaining_fixed
+            else:
+                fixed_count = int(
+                    rng.hypergeometric(remaining_fixed, remaining_random, count)
+                )
+            labels = np.zeros(count, dtype=bool)
+            labels[:fixed_count] = True
+            rng.shuffle(labels)
+            plaintexts = rng.integers(0, 1 << width, size=count)
+            plaintexts[labels] = config.fixed_plaintext
+            measured = energies(plaintexts)
+            if len(noise):
+                measured = noise(measured, rng)
+            yield AssessmentChunk(
+                plaintexts=plaintexts, labels=labels, energies=measured
+            )
+            remaining_fixed -= fixed_count
+            remaining_random -= count - fixed_count
+
+    def _assessment_noise_chain(self) -> NoiseChain:
+        """The assessment bench: campaign noise first, then the configured models.
+
+        The campaign's ``noise_std`` describes the same measurement
+        environment the trace/analysis stages record, so the assessment
+        applies it too (as Gaussian amplitude noise -- relative to the
+        mean energy for circuit campaigns, absolute in per-bit units for
+        the leakage model, matching the acquisition functions) before the
+        assessment-specific noise models.
+        """
+        campaign = self.config.campaign
+        models = []
+        if campaign.noise_std > 0.0:
+            models.append(
+                GaussianAmplitudeNoise(
+                    std=campaign.noise_std,
+                    relative=campaign.source == "circuit",
+                )
+            )
+        models.extend(
+            make_noise_model(spec) for spec in self.config.assessment.noise
+        )
+        return NoiseChain(models)
+
+    def _compute_assessment(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        config = self.config.assessment
+        methods = {
+            name: self._resolve(get_assessment, name)(config)
+            for name in config.methods
+        }
+        noise = self._assessment_noise_chain()
+        chunks = 0
+        for chunk in self._assessment_chunks(noise):
+            chunks += 1
+            for method in methods.values():
+                method.update(chunk)
+        outcomes = {name: method.finalize() for name, method in methods.items()}
+        details: Dict[str, Any] = {
+            "traces": 2 * config.traces_per_class,
+            "chunks": chunks,
+        }
+        if len(noise):
+            details["noise"] = noise.describe()
+        leaks = False
+        for name, outcome in outcomes.items():
+            max_abs_t = getattr(outcome, "max_abs_t", None)
+            if max_abs_t is not None:
+                max_abs_t = float(max_abs_t)
+                # Keep the record strict-JSON-safe: inf becomes "inf".
+                details[f"{name}_max_abs_t"] = (
+                    round(max_abs_t, 3) if math.isfinite(max_abs_t) else str(max_abs_t)
+                )
+            leaks = leaks or bool(getattr(outcome, "leaks", False))
+        details["leaks"] = leaks
+        return outcomes, details

@@ -1,6 +1,6 @@
 """Named, pluggable backend registries for the pipeline.
 
-Four registries back the string-valued fields of the flow configs:
+Five registries back the string-valued fields of the flow configs:
 
 * :data:`TECHNOLOGIES` -- technology-card factories
   (``"generic_180nm"`` and friends);
@@ -10,7 +10,10 @@ Four registries back the string-valued fields of the flow configs:
   classes);
 * :data:`ATTACKS` -- side-channel analysis methods (difference-of-means
   DPA and CPA by default);
-* :data:`SBOXES` -- substitution boxes for the crypto workload.
+* :data:`SBOXES` -- substitution boxes for the crypto workload;
+* :data:`ASSESSMENTS` -- streaming leakage-assessment methods
+  (fixed-vs-random TVLA t-tests and per-class energy statistics by
+  default, see :mod:`repro.assess`).
 
 Registering a backend makes it addressable from configs immediately::
 
@@ -35,9 +38,11 @@ from ..network.netlist import DifferentialPullDownNetwork
 from ..power.crypto import AES_SBOX, PRESENT_SBOX
 from ..power.dpa import AttackResult, cpa_correlation, dpa_difference_of_means
 from ..power.trace import TraceSet
+from ..assess.accumulators import ClassEnergyStats
+from ..assess.ttest import TVLATTest
 from ..sabl.cvsl import CVSLGate
 from ..sabl.gate import SABLGate
-from .config import AnalysisConfig
+from .config import AnalysisConfig, AssessmentConfig
 
 __all__ = [
     "Registry",
@@ -48,6 +53,8 @@ __all__ = [
     "GATE_STYLES",
     "ATTACKS",
     "SBOXES",
+    "ASSESSMENTS",
+    "AssessmentMethod",
     "register_technology",
     "get_technology",
     "register_gate_style",
@@ -56,6 +63,8 @@ __all__ = [
     "get_attack",
     "register_sbox",
     "get_sbox",
+    "register_assessment",
+    "get_assessment",
 ]
 
 T = TypeVar("T")
@@ -295,3 +304,60 @@ def get_sbox(name: str) -> Tuple[int, ...]:
 
 register_sbox("present", PRESENT_SBOX)
 register_sbox("aes", AES_SBOX)
+
+
+# ------------------------------------------------------------------- assessments
+
+
+class AssessmentMethod:
+    """Structural interface of a streaming assessment method.
+
+    The pipeline's assessment stage feeds every configured method the
+    same stream of :class:`repro.assess.accumulators.AssessmentChunk`
+    objects through ``update`` and collects each method's result object
+    (anything with ``to_dict()``, ``summary_rows()`` and a ``leaks``
+    attribute) from ``finalize``.  Duck typing suffices; this class just
+    documents the contract.
+    """
+
+    def update(self, chunk) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def finalize(self):  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+#: An assessment factory: ``(AssessmentConfig) -> AssessmentMethod``.
+AssessmentFactory = Callable[[AssessmentConfig], AssessmentMethod]
+
+#: Streaming leakage-assessment methods, keyed by short name.
+ASSESSMENTS: Registry[AssessmentFactory] = Registry("assessment")
+
+
+def register_assessment(
+    name: str, factory: AssessmentFactory, overwrite: bool = False
+) -> None:
+    """Register an assessment-method factory under ``name``.
+
+    The factory receives the flow's
+    :class:`~repro.flow.config.AssessmentConfig` and returns a fresh
+    streaming method (see :class:`AssessmentMethod`) for one campaign.
+    """
+    ASSESSMENTS.register(name, factory, overwrite=overwrite)
+
+
+def get_assessment(name: str) -> AssessmentFactory:
+    """The assessment factory registered under ``name``."""
+    return ASSESSMENTS.get(name)
+
+
+def _ttest_assessment(config: AssessmentConfig) -> TVLATTest:
+    return TVLATTest(orders=config.orders, threshold=config.threshold)
+
+
+def _stats_assessment(config: AssessmentConfig) -> ClassEnergyStats:
+    return ClassEnergyStats()
+
+
+register_assessment("ttest", _ttest_assessment)
+register_assessment("stats", _stats_assessment)

@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping
 
+from ..reporting.leakage import format_leakage_assessment
 from ..reporting.results import ExperimentResult
 from ..reporting.tables import format_table
 from .config import FlowConfig
@@ -83,12 +84,24 @@ class FlowReport:
     # -------------------------------------------------------------- exports
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serializable record of the whole run (config + stage summaries)."""
-        return {
+        """Serializable record of the whole run (config + stage summaries).
+
+        When the run includes the assessment stage, the per-method
+        verdicts (t statistics, class statistics, ...) are serialised in
+        full under ``"assessment"`` -- the stage summary alone would drop
+        the per-order evidence the verdict rests on.
+        """
+        record = {
             "flow": self.name,
             "config": self.config.to_dict(),
             "stages": [result.to_dict() for result in self],
         }
+        if "assessment" in self._results:
+            record["assessment"] = {
+                name: outcome.to_dict()
+                for name, outcome in self["assessment"].value.items()
+            }
+        return record
 
     def to_json(self, indent: int = 2) -> str:
         """The report as a JSON document."""
@@ -106,26 +119,48 @@ class FlowReport:
             title=f"DesignFlow {self.name!r}",
         )
 
+    def format_assessment(self) -> str:
+        """Per-method leakage-assessment table (via :mod:`repro.reporting`).
+
+        Raises :class:`KeyError` when the run did not include the
+        assessment stage.
+        """
+        return format_leakage_assessment(
+            self["assessment"].value,
+            title=f"Leakage assessment of flow {self.name!r}",
+        )
+
     def to_experiment_results(self) -> List[ExperimentResult]:
-        """Experiment records for the analysis stage.
+        """Experiment records for the analysis and assessment stages.
 
         The paper's claim is binary: the fully connected implementation
         resists the attacks that recover the key from a conventional
         one.  Each configured attack becomes one
         :class:`~repro.reporting.results.ExperimentResult` whose
         ``matches_shape`` records whether the outcome matches that claim
-        for the configured network style.
+        for the configured network style; each assessment method
+        likewise records whether its leakage verdict matches the
+        configuration's protection claim.
         """
-        if "analysis" not in self._results:
-            return []
+        records: List[ExperimentResult] = []
         campaign = self.config.campaign
         protected = campaign.source == "circuit" and campaign.network_style == "fc"
-        expected = "key not recovered" if protected else "key recovered"
         implementation = (
             "Hamming-weight model"
             if campaign.source == "model"
             else campaign.network_style
         )
+        records.extend(self._analysis_records(protected, implementation))
+        records.extend(self._assessment_records(protected, implementation))
+        return records
+
+    def _analysis_records(
+        self, protected: bool, implementation: str
+    ) -> List[ExperimentResult]:
+        if "analysis" not in self._results:
+            return []
+        campaign = self.config.campaign
+        expected = "key not recovered" if protected else "key recovered"
         records: List[ExperimentResult] = []
         for attack_name, attack in self["analysis"].value.items():
             measured = (
@@ -143,6 +178,37 @@ class FlowReport:
                     paper_value=expected,
                     measured_value=measured,
                     matches_shape=matches,
+                )
+            )
+        return records
+
+    def _assessment_records(
+        self, protected: bool, implementation: str
+    ) -> List[ExperimentResult]:
+        if "assessment" not in self._results:
+            return []
+        assessment = self.config.assessment
+        expected = (
+            "no leakage detected" if protected else "leakage detected"
+        )
+        records: List[ExperimentResult] = []
+        for method_name, outcome in self["assessment"].value.items():
+            if getattr(outcome, "leaks", None) is None:
+                continue  # descriptive method without a pass/fail verdict
+            describe = getattr(outcome, "describe", None)
+            measured = describe() if describe else str(outcome)
+            records.append(
+                ExperimentResult(
+                    experiment_id=f"{self.name}/assess/{method_name}",
+                    description=(
+                        f"{method_name} assessment of the {implementation} "
+                        f"implementation ({2 * assessment.traces_per_class} "
+                        f"traces)"
+                    ),
+                    paper_value=expected,
+                    measured_value=measured,
+                    matches_shape=bool(getattr(outcome, "leaks", False))
+                    != protected,
                 )
             )
         return records

@@ -17,7 +17,7 @@ measurements.  Two acquisition back-ends exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -26,12 +26,27 @@ from ..sabl.simulator import BatchedCircuitEnergyModel, CircuitPowerSimulator
 from ..electrical.technology import Technology
 from .crypto import PRESENT_SBOX, bits_of, hamming_weight, keyed_sbox_expressions
 
-__all__ = ["TraceSet", "build_sbox_circuit", "acquire_circuit_traces", "acquire_model_traces"]
+__all__ = [
+    "TraceSet",
+    "build_sbox_circuit",
+    "acquire_circuit_traces",
+    "acquire_model_traces",
+    "nibble_matrix",
+]
 
 
-def _nibble_matrix(values: np.ndarray, width: int = 4) -> np.ndarray:
-    """Little-endian bit matrix of a vector of nibbles (column ``i`` = bit i)."""
+def nibble_matrix(values: np.ndarray, width: int = 4) -> np.ndarray:
+    """Little-endian bit matrix of a vector of values (column ``i`` = bit i).
+
+    This is the stimulus-to-input-vector convention shared by the
+    acquisition back-ends and the flow pipeline's assessment stream.
+    """
     return ((values[:, None] >> np.arange(width)) & 1).astype(bool)
+
+
+#: A measurement-environment model applied to the acquired energies:
+#: ``(energies, rng) -> energies`` (see :mod:`repro.assess.noise`).
+NoiseModelFn = Callable[[np.ndarray, np.random.Generator], np.ndarray]
 
 
 @dataclass
@@ -90,15 +105,19 @@ def acquire_circuit_traces(
     seed: int = 2005,
     warmup_cycles: int = 4,
     batch_size: Optional[int] = 1024,
+    noise_model: Optional[NoiseModelFn] = None,
 ) -> TraceSet:
     """Record one power sample per cycle from the gate-level charge model.
 
     ``noise_std`` is expressed as a fraction of the mean cycle energy
     (e.g. 0.05 adds Gaussian noise with a sigma of 5 % of the mean),
     modelling measurement noise and the activity of unrelated logic.
-    ``warmup_cycles`` random cycles are simulated before recording so the
-    internal charge states start from a realistic steady state rather
-    than the artificial all-charged reset state.
+    ``noise_model`` plugs in a full measurement-environment model from
+    :mod:`repro.assess.noise` (ADC quantization, jitter, composed
+    chains); it is applied to the energies, with the campaign RNG, after
+    ``noise_std``.  ``warmup_cycles`` random cycles are simulated before
+    recording so the internal charge states start from a realistic
+    steady state rather than the artificial all-charged reset state.
 
     ``batch_size`` selects the vectorized acquisition back-end
     (:class:`repro.sabl.simulator.BatchedCircuitEnergyModel`), which
@@ -121,8 +140,8 @@ def acquire_circuit_traces(
             circuit, technology=technology, gate_style=gate_style
         )
         if warmup_cycles:
-            model.energies(_nibble_matrix(warmup, width), batch_size=batch_size)
-        energies = model.energies(_nibble_matrix(plaintexts, width), batch_size=batch_size)
+            model.energies(nibble_matrix(warmup, width), batch_size=batch_size)
+        energies = model.energies(nibble_matrix(plaintexts, width), batch_size=batch_size)
     else:
         simulator = CircuitPowerSimulator(
             circuit, technology=technology, gate_style=gate_style
@@ -137,6 +156,8 @@ def acquire_circuit_traces(
     if noise_std > 0.0:
         sigma = noise_std * float(np.mean(energies))
         energies = energies + rng.normal(0.0, sigma, size=trace_count)
+    if noise_model is not None:
+        energies = noise_model(energies, rng)
     return TraceSet(
         plaintexts=plaintexts,
         traces=energies,
@@ -176,8 +197,8 @@ def simulated_energy_predictor(
             )
             if warmup_cycles:
                 warmup = np.zeros(warmup_cycles, dtype=np.int64)
-                model.energies(_nibble_matrix(warmup), batch_size=batch_size)
-            return model.energies(_nibble_matrix(plaintexts_array), batch_size=batch_size)
+                model.energies(nibble_matrix(warmup), batch_size=batch_size)
+            return model.energies(nibble_matrix(plaintexts_array), batch_size=batch_size)
         simulator = CircuitPowerSimulator(circuit, technology=technology, gate_style=gate_style)
         for index in range(warmup_cycles):
             simulator.step({f"p{i}": bit for i, bit in enumerate(bits_of(0, 4))})
@@ -198,6 +219,7 @@ def acquire_model_traces(
     noise_std: float = 0.0,
     seed: int = 2005,
     target_bit: Optional[int] = None,
+    noise_model: Optional[NoiseModelFn] = None,
 ) -> TraceSet:
     """Leakage model of an unprotected implementation.
 
@@ -226,6 +248,8 @@ def acquire_model_traces(
         description = f"single-bit model (bit {target_bit}, noise={noise_std})"
     if noise_std > 0.0:
         leakage = leakage + rng.normal(0.0, noise_std * energy_per_bit, size=trace_count)
+    if noise_model is not None:
+        leakage = noise_model(leakage, rng)
     return TraceSet(
         plaintexts=plaintexts,
         traces=leakage,

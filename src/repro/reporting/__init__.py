@@ -1,11 +1,13 @@
 """Reporting helpers: text tables, ASCII waveform plots and experiment records."""
 
 from .figures import ascii_plot, ascii_waveform
+from .leakage import format_leakage_assessment
 from .results import ExperimentResult, format_experiment_results
 from .tables import format_table
 
 __all__ = [
     "format_table",
+    "format_leakage_assessment",
     "ascii_plot",
     "ascii_waveform",
     "ExperimentResult",

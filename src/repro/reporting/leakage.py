@@ -1,0 +1,37 @@
+"""Rendering of leakage-assessment results.
+
+Assessment result objects (the TVLA verdicts, class statistics and MTD
+curves of :mod:`repro.assess`) expose ``summary_rows()`` returning
+``[method, metric, value, verdict]`` rows; this module folds any mix of
+them into one aligned table, so an assessment prints uniformly whether
+it came from the flow pipeline or from standalone use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Union
+
+from .tables import format_table
+
+__all__ = ["format_leakage_assessment"]
+
+#: Column headers of the assessment table.
+_HEADERS = ("method", "metric", "value", "verdict")
+
+
+def format_leakage_assessment(
+    results: Union[Mapping[str, object], Iterable[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render assessment results as an aligned table.
+
+    ``results`` is a mapping (as the flow's assessment stage produces,
+    name -> result) or a plain iterable of result objects; every object
+    must provide ``summary_rows()``.
+    """
+    if isinstance(results, Mapping):
+        results = results.values()
+    rows: List[List[str]] = []
+    for result in results:
+        rows.extend(result.summary_rows())
+    return format_table(list(_HEADERS), rows, title=title or "Leakage assessment")

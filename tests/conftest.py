@@ -2,6 +2,17 @@
 
 from __future__ import annotations
 
+import importlib.util
+import sys
+from pathlib import Path
+
+# The project is a src-layout package.  When it is not installed (plain
+# ``python -m pytest`` from a fresh checkout), put ``<repo>/src`` on the
+# path so the suite runs without the ``PYTHONPATH=src`` incantation; an
+# installed ``repro`` (pip install -e .) always wins.
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 import pytest
 
 from repro.boolexpr import parse

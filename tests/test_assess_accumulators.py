@@ -1,0 +1,162 @@
+"""Streaming accumulators: numerical equivalence with one-shot NumPy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assess import (
+    AssessmentChunk,
+    ClassEnergyStats,
+    FixedVsRandomAccumulator,
+    SelectionBitAccumulator,
+    StreamingMoments,
+)
+
+CHUNK_SIZES = (1, 7, 64, 997, 4096)
+
+
+def _stream(values: np.ndarray, chunk_size: int) -> StreamingMoments:
+    moments = StreamingMoments()
+    for start in range(0, values.shape[0], chunk_size):
+        moments.update(values[start:start + chunk_size])
+    return moments
+
+
+@pytest.fixture(scope="module")
+def noisy_values() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    # Energy-like magnitudes with structure: lognormal around 1e-12.
+    return 1e-12 * np.exp(rng.normal(0.0, 0.3, size=5000))
+
+
+class TestStreamingMoments:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_matches_one_shot_numpy(self, noisy_values, chunk_size):
+        moments = _stream(noisy_values, chunk_size)
+        assert moments.count == noisy_values.shape[0]
+        assert np.isclose(moments.mean, noisy_values.mean(), rtol=1e-10, atol=0.0)
+        assert np.isclose(
+            moments.variance, noisy_values.var(ddof=1), rtol=1e-10, atol=0.0
+        )
+        centred = noisy_values - noisy_values.mean()
+        assert np.isclose(moments.m2, np.sum(centred**2), rtol=1e-10, atol=0.0)
+        assert np.isclose(moments.m3, np.sum(centred**3), rtol=1e-8, atol=1e-45)
+        assert np.isclose(moments.m4, np.sum(centred**4), rtol=1e-10, atol=0.0)
+        assert moments.minimum == noisy_values.min()
+        assert moments.maximum == noisy_values.max()
+
+    def test_chunkings_agree_with_each_other(self, noisy_values):
+        reference = _stream(noisy_values, noisy_values.shape[0])
+        for chunk_size in CHUNK_SIZES:
+            streamed = _stream(noisy_values, chunk_size)
+            assert np.isclose(streamed.mean, reference.mean, rtol=1e-12)
+            assert np.isclose(streamed.m2, reference.m2, rtol=1e-10)
+            assert np.isclose(streamed.m4, reference.m4, rtol=1e-10)
+
+    def test_merge_equals_single_accumulator(self, noisy_values):
+        left = _stream(noisy_values[:1234], 100)
+        right = _stream(noisy_values[1234:], 321)
+        left.merge(right)
+        whole = _stream(noisy_values, 1000)
+        assert left.count == whole.count
+        assert np.isclose(left.mean, whole.mean, rtol=1e-12)
+        assert np.isclose(left.m2, whole.m2, rtol=1e-10)
+        assert np.isclose(left.m4, whole.m4, rtol=1e-10)
+        assert left.minimum == whole.minimum
+        assert left.maximum == whole.maximum
+
+    def test_empty_updates_are_ignored(self):
+        moments = StreamingMoments()
+        moments.update(np.array([]))
+        assert moments.count == 0
+        moments.update(np.array([2.0, 4.0]))
+        moments.update(np.array([]))
+        assert moments.count == 2
+        assert moments.mean == 3.0
+
+    def test_central_moments_and_figures_of_merit(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        moments = _stream(values, 2)
+        assert np.isclose(moments.central_moment(2), values.var())
+        assert moments.central_moment(1) == 0.0
+        assert np.isclose(moments.nsd, values.std(ddof=1) / values.mean())
+        assert np.isclose(moments.ned, (4.0 - 1.0) / 4.0)
+        with pytest.raises(ValueError):
+            moments.central_moment(5)
+
+    def test_variance_needs_two_samples(self):
+        moments = StreamingMoments()
+        moments.update(np.array([1.0]))
+        assert np.isnan(moments.variance)
+
+
+class TestFixedVsRandomAccumulator:
+    def test_splits_by_label(self, noisy_values):
+        rng = np.random.default_rng(3)
+        labels = rng.random(noisy_values.shape[0]) < 0.4
+        accumulator = FixedVsRandomAccumulator()
+        for start in range(0, noisy_values.shape[0], 512):
+            stop = start + 512
+            accumulator.update(noisy_values[start:stop], labels[start:stop])
+        assert accumulator.fixed.count == int(labels.sum())
+        assert accumulator.random.count == int((~labels).sum())
+        assert accumulator.count == noisy_values.shape[0]
+        assert np.isclose(
+            accumulator.fixed.mean, noisy_values[labels].mean(), rtol=1e-10
+        )
+        assert np.isclose(
+            accumulator.random.mean, noisy_values[~labels].mean(), rtol=1e-10
+        )
+
+    def test_mismatched_lengths_raise(self):
+        accumulator = FixedVsRandomAccumulator()
+        with pytest.raises(ValueError):
+            accumulator.update(np.ones(3), np.array([True, False]))
+
+
+class TestSelectionBitAccumulator:
+    def test_per_bit_partitions(self):
+        rng = np.random.default_rng(9)
+        plaintexts = rng.integers(0, 16, size=1000)
+        energies = rng.normal(1.0, 0.1, size=1000) + 0.05 * (plaintexts & 1)
+        accumulator = SelectionBitAccumulator(bits=4)
+        for start in range(0, 1000, 173):
+            stop = start + 173
+            accumulator.update(plaintexts[start:stop], energies[start:stop])
+        for bit in range(4):
+            ones = ((plaintexts >> bit) & 1).astype(bool)
+            assert accumulator[bit].fixed.count == int(ones.sum())
+            assert np.isclose(
+                accumulator[bit].fixed.mean, energies[ones].mean(), rtol=1e-10
+            )
+
+    def test_selector_maps_intermediate_values(self):
+        table = np.array([3, 0, 2, 1], dtype=np.int64)
+        accumulator = SelectionBitAccumulator(
+            bits=2, selector=lambda plaintexts: table[plaintexts]
+        )
+        plaintexts = np.array([0, 1, 2, 3, 0, 2])
+        energies = np.arange(6, dtype=float)
+        accumulator.update(plaintexts, energies)
+        expected_bit0 = (table[plaintexts] & 1).astype(bool)
+        assert accumulator[0].fixed.count == int(expected_bit0.sum())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectionBitAccumulator(bits=0)
+
+
+class TestClassEnergyStats:
+    def test_snapshot_and_no_verdict(self):
+        rng = np.random.default_rng(21)
+        energies = rng.normal(5.0, 0.5, size=400)
+        labels = rng.random(400) < 0.5
+        method = ClassEnergyStats()
+        method.update(AssessmentChunk(np.zeros(400, dtype=np.int64), labels, energies))
+        result = method.finalize()
+        assert result.leaks is None  # descriptive, no pass/fail verdict
+        assert np.isclose(result.fixed["mean"], energies[labels].mean(), rtol=1e-10)
+        assert result.to_dict()["method"] == "stats"
+        rows = result.summary_rows()
+        assert len(rows) == 2 and rows[0][0] == "stats"

@@ -1,0 +1,124 @@
+"""Measurements-to-disclosure: bootstrapped success-rate curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assess import MTDCurve, SuccessRatePoint, bootstrap_success_rate, success_rate_curve
+from repro.power import PRESENT_SBOX, acquire_model_traces, dpa_difference_of_means
+from repro.power.trace import TraceSet
+
+
+@pytest.fixture(scope="module")
+def leaky_traces():
+    # Unprotected Hamming-weight model with moderate noise: CPA recovers
+    # the key comfortably within a few hundred traces.
+    return acquire_model_traces(key=0xB, trace_count=600, noise_std=0.5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def constant_traces():
+    rng = np.random.default_rng(5)
+    return TraceSet(
+        plaintexts=rng.integers(0, 16, size=400),
+        traces=np.full(400, 1.0),
+        key=0xB,
+        description="constant power",
+    )
+
+
+class TestBootstrapSuccessRate:
+    def test_leaky_target_discloses(self, leaky_traces):
+        point = bootstrap_success_rate(
+            leaky_traces, PRESENT_SBOX, trace_count=400,
+            repetitions=10, rng=np.random.default_rng(1),
+        )
+        assert point.success_rate >= 0.9
+        assert point.mean_rank < 1.0
+        assert point.repetitions == 10
+
+    def test_constant_target_resists(self, constant_traces):
+        point = bootstrap_success_rate(
+            constant_traces, PRESENT_SBOX, trace_count=200,
+            repetitions=10, rng=np.random.default_rng(2),
+        )
+        assert point.success_rate <= 0.4  # chance level is 1/16
+
+    def test_validation(self, leaky_traces):
+        with pytest.raises(ValueError):
+            bootstrap_success_rate(leaky_traces, PRESENT_SBOX, trace_count=0)
+        with pytest.raises(ValueError):
+            bootstrap_success_rate(
+                leaky_traces, PRESENT_SBOX, trace_count=10_000
+            )
+        with pytest.raises(ValueError):
+            bootstrap_success_rate(
+                leaky_traces, PRESENT_SBOX, trace_count=10, repetitions=0
+            )
+
+
+class TestSuccessRateCurve:
+    def test_leaky_curve_discloses(self, leaky_traces):
+        curve = success_rate_curve(
+            leaky_traces, PRESENT_SBOX, repetitions=8, seed=3
+        )
+        assert curve.disclosed
+        assert curve.mtd is not None
+        assert curve.mtd <= len(leaky_traces)
+        # Later points should hold the success rate (stability filter).
+        assert curve.points[-1].success_rate >= curve.success_threshold
+
+    def test_constant_curve_resists(self, constant_traces):
+        curve = success_rate_curve(
+            constant_traces, PRESENT_SBOX, repetitions=6, seed=4
+        )
+        assert not curve.disclosed
+        assert curve.mtd is None
+
+    def test_seed_reproducibility(self, leaky_traces):
+        first = success_rate_curve(leaky_traces, PRESENT_SBOX, repetitions=5, seed=9)
+        second = success_rate_curve(leaky_traces, PRESENT_SBOX, repetitions=5, seed=9)
+        assert [p.to_dict() for p in first.points] == [
+            p.to_dict() for p in second.points
+        ]
+
+    def test_custom_steps_and_attack(self, leaky_traces):
+        curve = success_rate_curve(
+            leaky_traces,
+            PRESENT_SBOX,
+            attack=lambda traces, sbox: dpa_difference_of_means(
+                traces, sbox, target_bit=2
+            ),
+            steps=[50, 200, 600],
+            repetitions=4,
+            seed=6,
+            attack_name="dom",
+        )
+        assert [point.trace_count for point in curve.points] == [50, 200, 600]
+        assert curve.attack_name == "dom"
+
+    def test_stability_filter_ignores_early_luck(self):
+        # A curve that dips back under the threshold after an early spike
+        # must not report the spike as the MTD.
+        points = (
+            SuccessRatePoint(10, 1.0, 0.0, 5),
+            SuccessRatePoint(20, 0.2, 3.0, 5),
+            SuccessRatePoint(40, 1.0, 0.0, 5),
+            SuccessRatePoint(80, 1.0, 0.0, 5),
+        )
+        curve = MTDCurve(points=points, success_threshold=0.9)
+        assert curve.mtd == 40
+
+    def test_rows_and_dict(self, leaky_traces):
+        curve = success_rate_curve(leaky_traces, PRESENT_SBOX, repetitions=4, seed=8)
+        record = curve.to_dict()
+        assert record["method"] == "mtd"
+        assert record["mtd"] == curve.mtd
+        rows = curve.summary_rows()
+        assert rows[-1][1] == "measurements to disclosure"
+        assert "MTD" in curve.describe()
+
+    def test_threshold_validation(self, leaky_traces):
+        with pytest.raises(ValueError):
+            success_rate_curve(leaky_traces, PRESENT_SBOX, success_threshold=0.0)

@@ -1,0 +1,209 @@
+"""TVLA t-tests: streaming equivalence, verdicts and corner cases."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.assess import (
+    FixedVsRandomAccumulator,
+    TVLATTest,
+    ttest_fixed_vs_random,
+    welch_t_from_moments,
+    welch_t_statistic,
+)
+from repro.assess.accumulators import AssessmentChunk, StreamingMoments
+
+
+def _one_shot_welch(a: np.ndarray, b: np.ndarray) -> float:
+    """Reference Welch t on materialised arrays (textbook formula)."""
+    return float(
+        (a.mean() - b.mean())
+        / np.sqrt(a.var(ddof=1) / a.size + b.var(ddof=1) / b.size)
+    )
+
+
+def _one_shot_order2(a: np.ndarray, b: np.ndarray) -> float:
+    """Reference second-order t: first-order test on centered squares."""
+    return _one_shot_welch((a - a.mean()) ** 2, (b - b.mean()) ** 2)
+
+
+@pytest.fixture(scope="module")
+def leaky_campaign():
+    rng = np.random.default_rng(17)
+    count = 20_000
+    labels = rng.random(count) < 0.5
+    # Mean leak for order 1 plus a variance leak for order 2.
+    energies = rng.normal(1.0, 0.05 + 0.01 * labels, size=count) + 0.01 * labels
+    return energies, labels
+
+
+class TestWelchStatistic:
+    def test_matches_textbook_formula(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, size=500)
+        b = rng.normal(0.2, 1.5, size=700)
+        statistic, dof = welch_t_statistic(
+            a.mean(), a.var(ddof=1), a.size, b.mean(), b.var(ddof=1), b.size
+        )
+        assert np.isclose(statistic, _one_shot_welch(a, b), rtol=1e-12)
+        assert 0 < dof < a.size + b.size
+
+    def test_zero_variance_conventions(self):
+        statistic, _ = welch_t_statistic(1.0, 0.0, 10, 1.0, 0.0, 10)
+        assert statistic == 0.0
+        statistic, _ = welch_t_statistic(2.0, 0.0, 10, 1.0, 0.0, 10)
+        assert statistic == np.inf
+        statistic, _ = welch_t_statistic(1.0, 0.0, 10, 2.0, 0.0, 10)
+        assert statistic == -np.inf
+
+    def test_requires_two_samples_per_class(self):
+        with pytest.raises(ValueError):
+            welch_t_statistic(0.0, 1.0, 1, 0.0, 1.0, 10)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("chunk_size", (64, 500, 1000, 4096))
+    def test_streaming_matches_one_shot(self, leaky_campaign, chunk_size):
+        energies, labels = leaky_campaign
+        fixed, random = energies[labels], energies[~labels]
+        result = ttest_fixed_vs_random(energies, labels, chunk_size=chunk_size)
+        assert np.isclose(
+            result.test(1).statistic,
+            _one_shot_welch(fixed, random),
+            rtol=1e-10,
+            atol=0.0,
+        )
+        assert np.isclose(
+            result.test(2).statistic,
+            _one_shot_order2(fixed, random),
+            rtol=1e-10,
+            atol=0.0,
+        )
+
+    def test_chunkings_agree_with_each_other(self, leaky_campaign):
+        energies, labels = leaky_campaign
+        reference = ttest_fixed_vs_random(energies, labels)
+        for chunk_size in (33, 977, 8192):
+            streamed = ttest_fixed_vs_random(energies, labels, chunk_size=chunk_size)
+            for order in (1, 2):
+                assert np.isclose(
+                    streamed.test(order).statistic,
+                    reference.test(order).statistic,
+                    rtol=1e-10,
+                    atol=0.0,
+                )
+
+
+class TestVerdicts:
+    def test_leak_detected(self, leaky_campaign):
+        energies, labels = leaky_campaign
+        result = ttest_fixed_vs_random(energies, labels)
+        assert result.test(1).leaks
+        assert result.leaks
+        assert result.max_abs_t > 4.5
+
+    def test_no_leak_on_identical_distributions(self):
+        rng = np.random.default_rng(23)
+        energies = rng.normal(1.0, 0.1, size=10_000)
+        labels = rng.random(10_000) < 0.5
+        result = ttest_fixed_vs_random(energies, labels)
+        assert not result.leaks
+
+    def test_constant_power_campaign_reports_zero(self):
+        # Noiseless constant-power traces: summation round-off must not
+        # be amplified into a spurious statistic.
+        energies = np.full(3000, 6.709392e-12)
+        labels = np.zeros(3000, dtype=bool)
+        labels[:1500] = True
+        result = ttest_fixed_vs_random(energies, labels, chunk_size=700)
+        assert result.test(1).statistic == 0.0
+        assert result.test(2).statistic == 0.0
+        assert not result.leaks
+
+    def test_genuinely_different_constants_still_flag(self):
+        energies = np.concatenate([np.full(100, 1.0), np.full(100, 2.0)])
+        labels = np.arange(200) < 100
+        result = ttest_fixed_vs_random(energies, labels, orders=(1,))
+        assert np.isinf(result.test(1).statistic)
+        assert result.leaks
+
+    def test_threshold_is_configurable(self, leaky_campaign):
+        energies, labels = leaky_campaign
+        lenient = ttest_fixed_vs_random(energies, labels, threshold=1e6)
+        assert not lenient.leaks
+        assert lenient.test(1).threshold == 1e6
+
+
+class TestResultObjects:
+    def test_round_trip_and_rows(self, leaky_campaign):
+        energies, labels = leaky_campaign
+        result = ttest_fixed_vs_random(energies, labels)
+        record = result.to_dict()
+        assert record["method"] == "ttest"
+        assert record["leaks"] == result.leaks
+        assert len(record["tests"]) == 2
+        rows = result.summary_rows()
+        assert [row[0] for row in rows] == ["ttest", "ttest"]
+        assert "order" in result.test(1).summary()
+        with pytest.raises(KeyError):
+            result.test(3)
+
+    def test_non_finite_statistics_serialise_to_strict_json(self):
+        energies = np.concatenate([np.full(100, 1.0), np.full(100, 2.0)])
+        labels = np.arange(200) < 100
+        result = ttest_fixed_vs_random(energies, labels, orders=(1,))
+        assert np.isinf(result.test(1).statistic)
+        record = json.dumps(result.to_dict(), allow_nan=False)  # must not raise
+        assert '"inf"' in record or '"-inf"' in record
+
+    def test_counts_recorded(self, leaky_campaign):
+        energies, labels = leaky_campaign
+        result = ttest_fixed_vs_random(energies, labels)
+        assert result.test(1).count_fixed == int(labels.sum())
+        assert result.test(1).count_random == int((~labels).sum())
+
+
+class TestMethodValidation:
+    def test_bad_orders(self):
+        with pytest.raises(ValueError):
+            TVLATTest(orders=())
+        with pytest.raises(ValueError):
+            TVLATTest(orders=(3,))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TVLATTest(threshold=0.0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ttest_fixed_vs_random(np.ones(4), np.zeros(4, dtype=bool), chunk_size=0)
+
+    def test_order_validation_in_moment_test(self):
+        moments = StreamingMoments()
+        moments.update(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            welch_t_from_moments(moments, moments, order=3)
+
+    @pytest.mark.parametrize("order", (1, 2))
+    def test_undersized_class_raises_descriptive_error(self, order):
+        # Both orders must surface the sample-count problem, not a
+        # ZeroDivisionError from the order-2 moment arithmetic.
+        energies = np.array([1.0, 2.0, 3.0, 4.0])
+        labels = np.array([True, False, False, False])
+        with pytest.raises(ValueError, match="two samples per class"):
+            ttest_fixed_vs_random(energies, labels, orders=(order,))
+
+    def test_streaming_method_accepts_chunks(self):
+        rng = np.random.default_rng(4)
+        method = TVLATTest()
+        for _ in range(4):
+            energies = rng.normal(1.0, 0.1, size=256)
+            labels = rng.random(256) < 0.5
+            method.update(
+                AssessmentChunk(np.zeros(256, dtype=np.int64), labels, energies)
+            )
+        result = method.finalize()
+        assert result.test(1).count_fixed + result.test(1).count_random == 1024

@@ -1,0 +1,101 @@
+"""The deprecated top-level shims: warnings and faithful delegation."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.core
+import repro.electrical
+import repro.flow
+import repro.network
+import repro.power
+import repro.sabl
+from repro.sabl import map_expressions
+
+
+@pytest.fixture(scope="module")
+def small_circuit():
+    return map_expressions({"F": repro.parse("A & B")}, name="shim_target")
+
+
+class TestAcquireCircuitTracesShim:
+    def test_emits_deprecation_warning(self, small_circuit):
+        with pytest.warns(DeprecationWarning, match="repro.flow.DesignFlow"):
+            repro.acquire_circuit_traces(small_circuit, key=0, trace_count=4)
+
+    def test_delegates_with_identical_results(self, small_circuit):
+        kwargs = dict(key=0, trace_count=32, noise_std=0.01, seed=123)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = repro.acquire_circuit_traces(small_circuit, **kwargs)
+        direct = repro.power.acquire_circuit_traces(small_circuit, **kwargs)
+        np.testing.assert_array_equal(shimmed.traces, direct.traces)
+        np.testing.assert_array_equal(shimmed.plaintexts, direct.plaintexts)
+        assert shimmed.key == direct.key
+        assert shimmed.description == direct.description
+
+    def test_forwards_batch_size_switch(self, small_circuit):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            batched = repro.acquire_circuit_traces(
+                small_circuit, key=0, trace_count=16, seed=5, batch_size=4
+            )
+            sequential = repro.acquire_circuit_traces(
+                small_circuit, key=0, trace_count=16, seed=5, batch_size=None
+            )
+        np.testing.assert_allclose(
+            batched.traces, sequential.traces, rtol=1e-9, atol=0.0
+        )
+
+    def test_direct_power_function_does_not_warn(self, small_circuit):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.power.acquire_circuit_traces(small_circuit, key=0, trace_count=4)
+
+
+class TestReExportShims:
+    """The other top-level stage functions are plain delegating re-exports."""
+
+    @pytest.mark.parametrize(
+        "name, module",
+        [
+            ("parse", "repro.boolexpr"),
+            ("truth_table", "repro.boolexpr"),
+            ("equivalent", "repro.boolexpr"),
+            ("build_genuine_dpdn", "repro.network"),
+            ("is_fully_connected", "repro.network"),
+            ("to_spice_subckt", "repro.network"),
+            ("synthesize_fc_dpdn", "repro.core"),
+            ("transform_to_fc", "repro.core"),
+            ("enhance_fc_dpdn", "repro.core"),
+            ("verify_gate", "repro.core"),
+            ("build_cell", "repro.core"),
+            ("build_library", "repro.core"),
+            ("generic_180nm", "repro.electrical"),
+            ("map_expressions", "repro.sabl"),
+            ("build_sbox_circuit", "repro.power"),
+            ("dpa_difference_of_means", "repro.power"),
+            ("cpa_correlation", "repro.power"),
+            ("energy_statistics", "repro.power"),
+        ],
+    )
+    def test_top_level_name_is_the_subpackage_object(self, name, module):
+        import importlib
+
+        assert getattr(repro, name) is getattr(importlib.import_module(module), name)
+
+    def test_synthesis_shim_produces_identical_networks(self):
+        expression = repro.parse("(A | B) & C")
+        via_shim = repro.synthesize_fc_dpdn(expression, name="G")
+        via_core = repro.core.synthesize_fc_dpdn(expression, name="G")
+        assert repro.to_spice_subckt(via_shim) == repro.to_spice_subckt(via_core)
+        assert repro.verify_gate(via_shim, expression).passed
+
+    def test_flow_api_is_canonical(self):
+        assert repro.DesignFlow is repro.flow.DesignFlow
+        assert repro.FlowConfig is repro.flow.FlowConfig
+        assert repro.AssessmentConfig is repro.flow.AssessmentConfig
