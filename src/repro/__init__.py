@@ -79,6 +79,7 @@ from .flow import (
     CampaignConfig,
     CellConfig,
     DesignFlow,
+    ExecutionConfig,
     FlowConfig,
     FlowError,
     FlowReport,
@@ -92,7 +93,7 @@ from .flow import (
     register_technology,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -118,6 +119,7 @@ __all__ = [
     "__version__",
     # flow (the canonical pipeline API)
     "DesignFlow",
+    "ExecutionConfig",
     "FlowConfig",
     "FlowError",
     "FlowResult",

@@ -253,6 +253,16 @@ class FixedVsRandomAccumulator:
     def update_chunk(self, chunk: AssessmentChunk) -> None:
         self.update(chunk.energies, chunk.labels)
 
+    def merge(self, other: "FixedVsRandomAccumulator") -> None:
+        """Fold another two-class accumulator's state into this one.
+
+        This is the reduce step of sharded assessment campaigns: each
+        shard accumulates its own classes, and the shard accumulators
+        are merged class-by-class into the campaign total.
+        """
+        self.fixed.merge(other.fixed)
+        self.random.merge(other.random)
+
     @property
     def count(self) -> int:
         return self.fixed.count + self.random.count
@@ -296,6 +306,16 @@ class SelectionBitAccumulator:
     def update_chunk(self, chunk: AssessmentChunk) -> None:
         self.update(chunk.plaintexts, chunk.energies)
 
+    def merge(self, other: "SelectionBitAccumulator") -> None:
+        """Fold another per-bit accumulator's state into this one."""
+        if other.bits != self.bits:
+            raise ValueError(
+                f"cannot merge accumulators over {other.bits} bits into "
+                f"one over {self.bits} bits"
+            )
+        for mine, theirs in zip(self.per_bit, other.per_bit):
+            mine.merge(theirs)
+
     def __getitem__(self, bit: int) -> FixedVsRandomAccumulator:
         return self.per_bit[bit]
 
@@ -317,6 +337,11 @@ class ClassStatsResult:
 
     def to_dict(self) -> Dict[str, object]:
         return {"method": "stats", "fixed": self.fixed, "random": self.random}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClassStatsResult":
+        """Rebuild a result from :meth:`to_dict` output (store round-trip)."""
+        return cls(fixed=dict(data["fixed"]), random=dict(data["random"]))
 
     def summary_rows(self):
         """Rows for :func:`repro.reporting.format_leakage_assessment`."""
@@ -353,6 +378,10 @@ class ClassEnergyStats:
 
     def update(self, chunk: AssessmentChunk) -> None:
         self.accumulator.update_chunk(chunk)
+
+    def merge(self, other: "ClassEnergyStats") -> None:
+        """Fold another shard's statistics into this one (map-reduce)."""
+        self.accumulator.merge(other.accumulator)
 
     def finalize(self) -> ClassStatsResult:
         def snapshot(moments: StreamingMoments) -> Dict[str, float]:

@@ -87,6 +87,18 @@ class WelchTResult:
             "count_random": self.count_random,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WelchTResult":
+        """Rebuild a test from :meth:`to_dict` output (store round-trip)."""
+        return cls(
+            order=int(data["order"]),
+            statistic=float(data["t"]),
+            dof=float(data["dof"]),
+            threshold=float(data.get("threshold", TVLA_THRESHOLD)),
+            count_fixed=int(data.get("count_fixed", 0)),
+            count_random=int(data.get("count_random", 0)),
+        )
+
     def summary(self) -> str:
         return (
             f"order {self.order}: |t| = {abs(self.statistic):.2f} "
@@ -230,6 +242,14 @@ class TVLAResult:
             "tests": [test.to_dict() for test in self.tests],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TVLAResult":
+        """Rebuild a result from :meth:`to_dict` output (store round-trip)."""
+        return cls(
+            tests=tuple(WelchTResult.from_dict(test) for test in data["tests"]),
+            description=str(data.get("description", "")),
+        )
+
     def summary_rows(self) -> List[List[str]]:
         """Rows for :func:`repro.reporting.format_leakage_assessment`."""
         return [
@@ -277,6 +297,15 @@ class TVLATTest:
 
     def update(self, chunk: AssessmentChunk) -> None:
         self.accumulator.update_chunk(chunk)
+
+    def merge(self, other: "TVLATTest") -> None:
+        """Fold another shard's accumulated state into this one.
+
+        The reduce step of sharded assessment campaigns; the merged
+        verdict is identical (up to float round-off of the Pebay merge)
+        to streaming all shards through a single method instance.
+        """
+        self.accumulator.merge(other.accumulator)
 
     def finalize(self) -> TVLAResult:
         return TVLAResult(

@@ -1,0 +1,240 @@
+"""The ``repro`` command-line interface.
+
+Three subcommands drive the engine from a shell (installed as a console
+script by ``pyproject.toml``):
+
+* ``repro run`` -- execute one flow and print its stage summary (plus
+  the assessment table when the stage ran);
+* ``repro sweep`` -- run a grid of flow configs (``--axis
+  gate_style=sabl,cvsl --axis noise_std=0,0.01``) across worker
+  processes, sharing one artifact store, and print/save the sweep
+  report;
+* ``repro store`` -- inspect (``ls``) or empty (``clear``) an artifact
+  store.
+
+Axis and ``--set`` values parse as JSON when possible (``0.01`` ->
+float, ``[1,2]`` -> list) and fall back to plain strings (``sabl``), so
+the shell syntax stays unquoted for the common cases.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..flow.config import ConfigError, FlowConfig
+from ..flow.pipeline import DesignFlow, FlowError
+from ..flow.registry import UnknownBackendError
+from ..reporting.tables import format_table
+from .store import ArtifactStore
+from .sweep import _apply_override, run_sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignment(text: str, option: str) -> Tuple[str, str]:
+    if "=" not in text:
+        # ConfigError so main()'s error path turns this into a clean
+        # one-line message (the parse happens inside the handlers, after
+        # argparse is done).
+        raise ConfigError(f"{option} expects PATH=VALUE, got {text!r}")
+    path, _, value = text.partition("=")
+    return path.strip(), value.strip()
+
+
+def _base_config(args: argparse.Namespace) -> FlowConfig:
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            config = FlowConfig.from_dict(json.load(handle))
+    else:
+        config = FlowConfig(name=args.name)
+    for assignment in args.set or []:
+        path, raw = _parse_assignment(assignment, "--set")
+        config = _apply_override(config, path, _parse_value(raw))
+    return config
+
+
+def _execution_overrides(args: argparse.Namespace, config: FlowConfig) -> FlowConfig:
+    overrides: Dict[str, Any] = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.shard_size is not None:
+        overrides["shard_size"] = args.shard_size
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.store is not None:
+        overrides["store"] = args.store
+    if getattr(args, "mmap", False):
+        overrides["store_mmap"] = True
+    if overrides:
+        config = config.replace(execution=config.execution.replace(**overrides))
+    return config
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", metavar="FILE", help="base FlowConfig as a JSON file"
+    )
+    parser.add_argument(
+        "--name", default="cli", help="flow name when --config is not given"
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="config override, e.g. --set trace_count=2000 or "
+        "--set assessment.enabled=true (repeatable)",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", help="worker processes (default 1)"
+    )
+    parser.add_argument(
+        "--shard-size", type=int, metavar="N", help="traces per shard"
+    )
+    parser.add_argument("--executor", metavar="NAME", help="registered executor backend")
+    parser.add_argument("--store", metavar="DIR", help="artifact store directory")
+    parser.add_argument(
+        "--mmap", action="store_true", help="memory-map cached trace arrays"
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON to FILE"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sharded campaign execution for the DATE 2005 reproduction "
+        "(see `repro <command> --help`).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one flow and print its report")
+    _add_common_options(run)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a grid of flow configs in parallel"
+    )
+    _add_common_options(sweep)
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        metavar="PATH=V1,V2,...",
+        help="sweep axis, e.g. --axis gate_style=sabl,cvsl (repeatable; "
+        "the grid is the cartesian product of all axes)",
+    )
+    sweep.add_argument(
+        "--stages",
+        metavar="S1,S2,...",
+        help="restrict which stages each cell computes (default: applicable stages)",
+    )
+
+    store = commands.add_parser("store", help="inspect or empty an artifact store")
+    store.add_argument("action", choices=("ls", "clear"))
+    store.add_argument("--store", required=True, metavar="DIR")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _execution_overrides(args, _base_config(args))
+    flow = DesignFlow(None, config)
+    report = flow.run()
+    print(report.format_summary())
+    if "assessment" in report:
+        print()
+        print(report.format_assessment())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"\nreport written to {args.json}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _base_config(args)
+    axes: Dict[str, List[Any]] = {}
+    for axis in args.axis or []:
+        path, raw = _parse_assignment(axis, "--axis")
+        axes[path] = [_parse_value(value) for value in raw.split(",") if value]
+    stages = (
+        [stage for stage in args.stages.split(",") if stage]
+        if args.stages
+        else None
+    )
+    execution = config.execution
+    if args.shard_size is not None:
+        execution = execution.replace(shard_size=args.shard_size)
+    config = config.replace(execution=execution)
+    report = run_sweep(
+        config,
+        axes,
+        workers=args.workers if args.workers is not None else 1,
+        executor=args.executor,
+        store=args.store,
+        store_mmap=bool(args.mmap),
+        stages=stages,
+    )
+    print(report.format_table())
+    if args.json:
+        report.save(args.json)
+        print(f"\nsweep report written to {args.json}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    entries = store.entries()
+    rows = []
+    for meta in entries:
+        config = meta.get("config", {})
+        stage = meta.get("config", {}).get("stage", meta.get("kind", "?"))
+        campaign = config.get("campaign", {})
+        rows.append(
+            [
+                str(meta.get("key", "?"))[:12],
+                stage,
+                str(meta.get("count", campaign.get("trace_count", "-"))),
+                str(campaign.get("gate_style", "-")),
+                str(campaign.get("noise_std", "-")),
+                str(campaign.get("seed", "-")),
+            ]
+        )
+    print(
+        format_table(
+            ["key", "stage", "traces", "gate_style", "noise", "seed"],
+            rows,
+            title=f"{len(entries)} artifacts in {store.root} "
+            f"({store.size_bytes() / 1e6:.2f} MB)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"run": _cmd_run, "sweep": _cmd_sweep, "store": _cmd_store}
+    try:
+        return handlers[args.command](args)
+    except (ConfigError, FlowError, UnknownBackendError, OSError) as error:
+        print(f"repro {args.command}: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.engine.cli
+    sys.exit(main())

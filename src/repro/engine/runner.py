@@ -1,0 +1,257 @@
+"""The sharded campaign runner: map shards over an executor, reduce results.
+
+The runner turns a flow's ``traces`` or ``assessment`` stage into a
+deterministic map-reduce:
+
+1. **plan** -- the campaign is split into shards whose random streams
+   come from ``SeedSequence.spawn`` (:mod:`repro.engine.sharding`); the
+   plan depends only on the config, never on the worker count;
+2. **map** -- each shard is executed through the configured executor
+   backend (:mod:`repro.engine.executors`).  Worker processes rebuild
+   the flow from its config dict (cached per process, so a worker
+   synthesises the circuit once and reuses it across its shards);
+3. **reduce** -- trace blocks are concatenated in shard order,
+   assessment methods are ``merge()``-d in shard order.
+
+Because the plan is executor-independent and the reduce is ordered, a
+campaign run on a 4-worker pool is *bit-identical* to the same campaign
+run serially -- the equivalence the engine tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..flow.config import ExecutionConfig, FlowConfig
+from ..flow.pipeline import DesignFlow, FlowError
+from .executors import SerialExecutor, get_executor
+from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
+
+__all__ = [
+    "run_trace_campaign",
+    "run_assessment_campaign",
+    "trace_store_record",
+    "assessment_store_record",
+]
+
+
+# ------------------------------------------------------------------ worker side
+
+#: Per-process cache of reconstructed flows, keyed by the flow spec.
+#: A pool worker typically executes several shards of the same campaign;
+#: caching the flow means the circuit is mapped once per process, not
+#: once per shard.
+_WORKER_FLOWS: Dict[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], DesignFlow] = {}
+
+#: Upper bound on cached worker flows (sweeps cycle through many
+#: configs; old entries are evicted FIFO).
+_WORKER_FLOW_CACHE_SIZE = 8
+
+
+def _flow_spec(flow: DesignFlow) -> Tuple[str, Optional[Tuple[Tuple[str, str], ...]]]:
+    """A picklable, hashable spec a worker rebuilds the flow from.
+
+    The config travels as canonical JSON; custom expressions travel as
+    their parseable string form (``parse(str(expr)) == expr``), since
+    :class:`~repro.boolexpr.ast.Expr` objects deliberately do not
+    pickle.  The execution config is *not* stripped here -- the worker
+    resets it so shard tasks never re-enter the engine recursively.
+    """
+    config_json = json.dumps(flow.config.to_dict(), sort_keys=True)
+    spec = flow._expression_spec
+    expressions = (
+        None
+        if spec is None
+        else tuple(sorted((name, str(expr)) for name, expr in spec.items()))
+    )
+    return config_json, expressions
+
+
+def _flow_from_spec(
+    spec: Tuple[str, Optional[Tuple[Tuple[str, str], ...]]]
+) -> DesignFlow:
+    flow = _WORKER_FLOWS.get(spec)
+    if flow is None:
+        config_json, expressions = spec
+        config = FlowConfig.from_dict(json.loads(config_json))
+        # Shard tasks must never fan out again from inside a worker.
+        config = config.replace(execution=ExecutionConfig())
+        flow = DesignFlow(
+            dict(expressions) if expressions is not None else None, config
+        )
+        while len(_WORKER_FLOWS) >= _WORKER_FLOW_CACHE_SIZE:
+            _WORKER_FLOWS.pop(next(iter(_WORKER_FLOWS)))
+        _WORKER_FLOWS[spec] = flow
+    return flow
+
+
+def _trace_shard_task(
+    payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], Shard]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Executed on a pool worker: acquire one trace shard."""
+    spec, shard = payload
+    return _flow_from_spec(spec)._acquire_trace_shard(shard)
+
+
+def _assessment_shard_task(
+    payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], AssessmentShard]
+) -> Tuple[Dict[str, Any], int]:
+    """Executed on a pool worker: stream one assessment shard."""
+    spec, shard = payload
+    return _flow_from_spec(spec)._run_assessment_shard(shard)
+
+
+# ------------------------------------------------------------------ map-reduce
+
+
+def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
+    """Run shard tasks through the configured executor, in shard order.
+
+    The serial executor runs against the *local* flow object (reusing
+    its cached circuit); parallel executors ship the flow spec to the
+    workers.  Both paths compute identical shards.
+    """
+    execution = flow.config.execution
+    executor = get_executor(execution.resolved_executor, execution.workers)
+    # Exactly SerialExecutor (not subclasses: custom executors must see
+    # every payload through map()) -- or a pool degenerated to one
+    # worker -- short-circuits to the local flow, reusing its cached
+    # circuit instead of rebuilding from the spec.
+    if type(executor) is SerialExecutor or getattr(
+        executor, "effectively_serial", False
+    ):
+        if task is _trace_shard_task:
+            return [flow._acquire_trace_shard(shard) for shard in shards]
+        return [flow._run_assessment_shard(shard) for shard in shards]
+    spec = _flow_spec(flow)
+    return executor.map(task, [(spec, shard) for shard in shards])
+
+
+def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
+    """Acquire the flow's trace campaign as a sharded map-reduce.
+
+    Returns ``(trace_set, details)``; the trace arrays are concatenated
+    in shard order, so the result is independent of executor backend and
+    worker count (given the same shard size).
+    """
+    from ..power.trace import TraceSet
+
+    campaign = flow.config.campaign
+    execution = flow.config.execution
+    shards = plan_shards(
+        campaign.trace_count, execution.effective_shard_size, campaign.seed
+    )
+    parts = _map_shards(flow, _trace_shard_task, shards)
+    plaintexts = np.concatenate([part[0] for part in parts])
+    traces = np.concatenate([part[1] for part in parts])
+    trace_set = TraceSet(
+        plaintexts=plaintexts,
+        traces=traces,
+        key=campaign.key,
+        description=(
+            f"{flow.config.name} sharded campaign "
+            f"({len(shards)} shards x <= {execution.effective_shard_size})"
+        ),
+    )
+    details = {
+        "executor": execution.resolved_executor,
+        "workers": execution.workers,
+        "shards": len(shards),
+        "shard_size": execution.effective_shard_size,
+    }
+    return trace_set, details
+
+
+def run_assessment_campaign(
+    flow: DesignFlow,
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run the flow's assessment campaign as a sharded map-reduce.
+
+    Each shard streams its slice of the fixed-vs-random campaign into
+    fresh method instances; shard methods are reduced with ``merge()``
+    in shard order and finalized once.  Returns ``(outcomes, details)``
+    like the in-process assessment stage.
+    """
+    config = flow.config.assessment
+    execution = flow.config.execution
+    shards = plan_assessment_shards(
+        config.traces_per_class, execution.effective_shard_size, config.seed
+    )
+    results = _map_shards(flow, _assessment_shard_task, shards)
+    methods, chunks = results[0]
+    for other_methods, other_chunks in results[1:]:
+        chunks += other_chunks
+        for name, method in methods.items():
+            merge = getattr(method, "merge", None)
+            if merge is None:
+                raise FlowError(
+                    f"assessment method {name!r} does not implement merge() "
+                    f"and cannot run sharded; use ExecutionConfig() (inactive) "
+                    f"or add a merge() to the method"
+                )
+            merge(other_methods[name])
+    outcomes = {name: method.finalize() for name, method in methods.items()}
+    details = {
+        "executor": execution.resolved_executor,
+        "workers": execution.workers,
+        "shards": len(shards),
+        "shard_size": execution.effective_shard_size,
+        "chunks": chunks,
+    }
+    return outcomes, details
+
+
+# ------------------------------------------------------------------ store keys
+
+
+def _expressions_record(flow: DesignFlow) -> Optional[Dict[str, str]]:
+    spec = flow._expression_spec
+    if spec is None:
+        return None
+    return {name: str(expr) for name, expr in sorted(spec.items())}
+
+
+def _common_store_record(flow: DesignFlow) -> Dict[str, Any]:
+    config = flow.config
+    record: Dict[str, Any] = {
+        "campaign": config.campaign.to_dict(),
+        "technology": config.technology.to_dict(),
+        "expressions": _expressions_record(flow),
+        "sharding": (
+            config.execution.effective_shard_size
+            if config.execution.active
+            else None
+        ),
+    }
+    # The single-bit leakage model reads the analysis target bit; it is
+    # part of the campaign content only in that mode.
+    if (
+        config.campaign.source == "model"
+        and config.campaign.model_leakage == "bit"
+    ):
+        record["target_bit"] = config.analysis.target_bit
+    return record
+
+
+def trace_store_record(flow: DesignFlow) -> Dict[str, Any]:
+    """Everything that determines the ``traces`` stage result.
+
+    Hash this record (:func:`repro.engine.store.content_key`) to get the
+    stage's store key.  The sharding layout is part of the content --
+    sharded and unsharded campaigns consume different random streams --
+    but the worker count and executor backend are not.
+    """
+    record = _common_store_record(flow)
+    record["stage"] = "traces"
+    return record
+
+
+def assessment_store_record(flow: DesignFlow) -> Dict[str, Any]:
+    """Everything that determines the ``assessment`` stage result."""
+    record = _common_store_record(flow)
+    record["stage"] = "assessment"
+    record["assessment"] = flow.config.assessment.to_dict()
+    return record

@@ -1,0 +1,118 @@
+"""Deterministic shard plans for campaign map-reduce.
+
+A shard plan splits a campaign of ``total`` traces into contiguous
+shards of at most ``shard_size`` traces and hands each shard one child
+of ``numpy.random.SeedSequence(seed).spawn(...)``.  Spawned children are
+the NumPy-sanctioned way to derive *provably non-overlapping* random
+streams from one root seed, so shard results depend only on the plan --
+never on which worker (or how many workers) executed them.  Executing
+the same plan serially or on a process pool therefore yields
+bit-identical campaigns; that equivalence is the contract the runner's
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Shard", "AssessmentShard", "plan_shards", "plan_assessment_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of a trace campaign.
+
+    Attributes:
+        index: position of the shard in the plan (and of its output
+            block in the reduced campaign).
+        start: index of the shard's first trace in the campaign.
+        count: number of traces the shard acquires.
+        seed_sequence: the shard's spawned ``SeedSequence`` child; pass
+            it as the ``seed`` of the acquisition functions.
+    """
+
+    index: int
+    start: int
+    count: int
+    seed_sequence: np.random.SeedSequence
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class AssessmentShard:
+    """One slice of a fixed-vs-random assessment campaign.
+
+    Attributes:
+        index: position of the shard in the plan (the merge order).
+        fixed_count: fixed-class traces this shard streams.
+        random_count: random-class traces this shard streams.
+        seed_sequence: the shard's spawned ``SeedSequence`` child
+            (stimulus order, class interleaving, noise and warmup draws).
+    """
+
+    index: int
+    fixed_count: int
+    random_count: int
+    seed_sequence: np.random.SeedSequence
+
+    def __post_init__(self) -> None:
+        if self.fixed_count < 0 or self.random_count < 0:
+            raise ValueError("shard class budgets must be non-negative")
+        if self.fixed_count + self.random_count < 1:
+            raise ValueError("shard must stream at least one trace")
+
+
+def _shard_counts(total: int, shard_size: int) -> List[int]:
+    if total < 1:
+        raise ValueError(f"total must be positive, got {total}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be positive, got {shard_size}")
+    full, rest = divmod(total, shard_size)
+    return [shard_size] * full + ([rest] if rest else [])
+
+
+def plan_shards(total: int, shard_size: int, seed: int) -> Tuple[Shard, ...]:
+    """Split ``total`` traces into deterministic shards.
+
+    Every shard but the last holds exactly ``shard_size`` traces.  The
+    plan (and each shard's random stream) is a pure function of the
+    three arguments, so two runs of the same campaign -- at any worker
+    count -- execute identical shards.
+    """
+    counts = _shard_counts(total, shard_size)
+    children = np.random.SeedSequence(seed).spawn(len(counts))
+    shards: List[Shard] = []
+    start = 0
+    for index, (count, child) in enumerate(zip(counts, children)):
+        shards.append(Shard(index=index, start=start, count=count, seed_sequence=child))
+        start += count
+    return tuple(shards)
+
+
+def plan_assessment_shards(
+    traces_per_class: int, shard_size: int, seed: int
+) -> Tuple[AssessmentShard, ...]:
+    """Split a fixed-vs-random campaign into deterministic shards.
+
+    The two classes are split identically (each shard streams the same
+    number of fixed and random traces, ``~shard_size`` in total), so the
+    merged campaign keeps the exact per-class totals and every shard's
+    t-statistics are estimated from a balanced sample.
+    """
+    per_class = _shard_counts(traces_per_class, max(1, shard_size // 2))
+    children = np.random.SeedSequence(seed).spawn(len(per_class))
+    return tuple(
+        AssessmentShard(
+            index=index,
+            fixed_count=count,
+            random_count=count,
+            seed_sequence=child,
+        )
+        for index, (count, child) in enumerate(zip(per_class, children))
+    )

@@ -1,0 +1,240 @@
+"""Disk-backed artifact store for campaign results.
+
+Trace campaigns dominate the cost of every sweep, and a sweep grid
+re-runs many cells that differ only in their analysis settings.  The
+store caches stage results on disk, keyed by a **content hash** of
+everything that determines the result -- the stage's config
+``to_dict()`` output plus the inputs feeding it -- so a re-run (or
+another grid cell with the same campaign) loads the traces instead of
+re-acquiring them.
+
+Layout (one directory per artifact, named by the full SHA-256 key)::
+
+    <store root>/
+        <64-hex-char key>/
+            meta.json          # kind, the keyed config record, array names
+            traces.npy         # trace arrays, one .npy per array
+            plaintexts.npy     # (memory-mappable: np.load(..., mmap_mode="r"))
+
+Arrays are stored as one ``.npy`` file each (NumPy's native format)
+precisely so huge cached campaigns can be *memory-mapped* on load
+instead of read into RAM; JSON-only artifacts (assessment verdicts,
+sweep reports) carry their payload inside ``meta.json``.
+
+Writes are atomic: an artifact is assembled in a temporary directory and
+renamed into place, so parallel sweep cells racing on the same key never
+observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..power.trace import TraceSet
+
+__all__ = ["ArtifactStore", "content_key"]
+
+#: Bump when the on-disk layout (not the keyed configs) changes shape.
+_STORE_FORMAT = 1
+
+
+def content_key(payload: Mapping[str, Any]) -> str:
+    """SHA-256 content hash of a JSON-able payload (canonical form).
+
+    The payload is serialised with sorted keys and minimal separators so
+    logically equal configs hash equally regardless of dict order.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed cache of trace sets and JSON stage results.
+
+    Args:
+        root: store directory (created on first write).
+        mmap: memory-map cached arrays on load (``np.load`` with
+            ``mmap_mode="r"``) instead of reading them into RAM.
+    """
+
+    def __init__(self, root: os.PathLike, mmap: bool = False) -> None:
+        self.root = Path(root)
+        self.mmap = mmap
+
+    # ------------------------------------------------------------------ paths
+
+    def path(self, key: str) -> Path:
+        """Directory of the artifact stored under ``key``."""
+        if not key or any(sep in key for sep in (os.sep, "/", "\\")):
+            raise ValueError(f"malformed store key {key!r}")
+        return self.root / key
+
+    def __contains__(self, key: str) -> bool:
+        return (self.path(key) / "meta.json").is_file()
+
+    def _read_meta(self, key: str) -> Optional[Dict[str, Any]]:
+        meta_path = self.path(key) / "meta.json"
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_entry(
+        self, key: str, meta: Dict[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        target = self.path(key)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".{key[:12]}-", dir=self.root)
+        )
+        try:
+            for name, array in arrays.items():
+                np.save(staging / f"{name}.npy", np.ascontiguousarray(array))
+            with open(staging / "meta.json", "w", encoding="utf-8") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            try:
+                os.replace(staging, target)
+            except OSError:
+                # A concurrent writer won the race for this key; its
+                # artifact is content-equal, keep it.
+                if key in self:
+                    shutil.rmtree(staging, ignore_errors=True)
+                else:
+                    raise
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+
+    # ----------------------------------------------------------------- traces
+
+    def put_traceset(
+        self,
+        key: str,
+        traces: TraceSet,
+        config: Mapping[str, Any],
+        details: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Cache a :class:`~repro.power.trace.TraceSet` under ``key``.
+
+        ``config`` is the keyed config record; it is stored verbatim in
+        ``meta.json`` so ``repro store ls`` can explain every entry.
+        ``details`` carries the producing stage's summary statistics, so
+        cache hits report them without re-walking the (possibly
+        memory-mapped) arrays.
+        """
+        meta = {
+            "format": _STORE_FORMAT,
+            "kind": "traces",
+            "key": key,
+            "config": dict(config),
+            "arrays": ["plaintexts", "traces"],
+            "trace_key": int(traces.key),
+            "description": traces.description,
+            "count": len(traces),
+        }
+        if details is not None:
+            meta["details"] = dict(details)
+        self._write_entry(
+            key,
+            meta,
+            {"plaintexts": traces.plaintexts, "traces": traces.traces},
+        )
+
+    def get_traceset(self, key: str) -> Optional[TraceSet]:
+        """The cached trace set under ``key``, or ``None`` on a miss."""
+        meta = self._read_meta(key)
+        if meta is None or meta.get("kind") != "traces":
+            return None
+        directory = self.path(key)
+        mmap_mode = "r" if self.mmap else None
+        try:
+            plaintexts = np.load(directory / "plaintexts.npy", mmap_mode=mmap_mode)
+            traces = np.load(directory / "traces.npy", mmap_mode=mmap_mode)
+        except (OSError, ValueError):
+            return None
+        return TraceSet(
+            plaintexts=plaintexts,
+            traces=traces,
+            key=int(meta.get("trace_key", 0)),
+            description=str(meta.get("description", "")),
+        )
+
+    def get_details(self, key: str) -> Optional[Dict[str, Any]]:
+        """The producing stage's summary details, when the entry has them."""
+        meta = self._read_meta(key)
+        if meta is None:
+            return None
+        details = meta.get("details")
+        return dict(details) if isinstance(details, Mapping) else None
+
+    # ------------------------------------------------------------------- json
+
+    def put_json(
+        self, key: str, payload: Any, config: Mapping[str, Any], kind: str = "json"
+    ) -> None:
+        """Cache a JSON-able stage result under ``key``."""
+        meta = {
+            "format": _STORE_FORMAT,
+            "kind": kind,
+            "key": key,
+            "config": dict(config),
+            "payload": payload,
+        }
+        self._write_entry(key, meta, {})
+
+    def get_json(self, key: str, kind: str = "json") -> Optional[Any]:
+        """The cached JSON payload under ``key``, or ``None`` on a miss."""
+        meta = self._read_meta(key)
+        if meta is None or meta.get("kind") != kind:
+            return None
+        return meta.get("payload")
+
+    # ------------------------------------------------------------ maintenance
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata of every artifact in the store, sorted by key."""
+        if not self.root.is_dir():
+            return []
+        records: List[Dict[str, Any]] = []
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir() or child.name.startswith("."):
+                continue
+            meta = self._read_meta(child.name)
+            if meta is not None:
+                records.append(meta)
+        return records
+
+    def size_bytes(self) -> int:
+        """Total bytes the store occupies on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            path.stat().st_size
+            for path in self.root.rglob("*")
+            if path.is_file()
+        )
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for child in self.root.iterdir():
+            if child.is_dir():
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r}, mmap={self.mmap})"

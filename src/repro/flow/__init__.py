@@ -21,6 +21,7 @@ from .config import (
     CampaignConfig,
     CellConfig,
     ConfigError,
+    ExecutionConfig,
     FlowConfig,
     SynthesisConfig,
     TechnologyConfig,
@@ -59,6 +60,7 @@ __all__ = [
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",
+    "ExecutionConfig",
     "FlowConfig",
     # registry
     "Registry",

@@ -15,6 +15,7 @@ after a config was created are still honoured.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -30,8 +31,14 @@ __all__ = [
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",
+    "ExecutionConfig",
     "FlowConfig",
 ]
+
+#: Shard size used when execution is active but none was configured.
+#: Fixed (never derived from the worker count) so the shard plan -- and
+#: with it every random stream -- is identical at any parallelism.
+DEFAULT_SHARD_SIZE = 256
 
 
 class ConfigError(ValueError):
@@ -381,6 +388,80 @@ class AssessmentConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class ExecutionConfig(_ConfigBase):
+    """How the heavy stages (``traces``, ``assessment``) execute.
+
+    The default config is *inactive*: campaigns run unsharded in
+    process, exactly as before the :mod:`repro.engine` subsystem
+    existed.  Execution becomes active -- campaigns are split into
+    deterministic shards executed through a registered executor and
+    map-reduced back together -- as soon as any of ``workers``,
+    ``shard_size`` or ``executor`` is set.  Setting only ``store``
+    enables the disk-backed artifact cache without changing how (or
+    with which random streams) campaigns are computed.
+
+    Attributes:
+        workers: worker processes of the ``"process"`` executor; 1 keeps
+            execution serial (but still sharded when ``shard_size`` or
+            ``executor`` is set).
+        executor: registered executor backend
+            (:func:`repro.engine.register_executor`); ``None`` resolves
+            to ``"process"`` when ``workers > 1`` and ``"serial"``
+            otherwise.
+        shard_size: traces per shard.  ``None`` uses
+            :data:`DEFAULT_SHARD_SIZE` when execution is active.  The
+            shard plan depends only on the campaign (seed, trace count)
+            and this value -- never on ``workers`` -- so results are
+            bit-identical at any parallelism.
+        store: root directory of the disk-backed artifact store
+            (:class:`repro.engine.ArtifactStore`); ``None`` disables
+            caching.
+        store_mmap: memory-map cached trace arrays on load instead of
+            reading them into RAM (sweeps over huge cached campaigns).
+    """
+
+    workers: int = 1
+    executor: Optional[str] = None
+    shard_size: Optional[int] = None
+    store: Optional[str] = None
+    store_mmap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {self.workers}")
+        if self.executor is not None and not self.executor:
+            raise ConfigError("executor must be a non-empty name or None")
+        if self.shard_size is not None and self.shard_size < 1:
+            raise ConfigError(
+                f"shard_size must be positive or None, got {self.shard_size}"
+            )
+        if self.store is not None:
+            # Accept path-like objects but normalise to str: the config
+            # must stay JSON-serialisable (worker specs, sweep payloads).
+            store = os.fspath(self.store)
+            if not store:
+                raise ConfigError("store must be a non-empty path or None")
+            object.__setattr__(self, "store", store)
+
+    @property
+    def active(self) -> bool:
+        """True when campaigns run through the sharded engine."""
+        return self.workers > 1 or self.shard_size is not None or self.executor is not None
+
+    @property
+    def effective_shard_size(self) -> int:
+        """The shard size the engine uses when execution is active."""
+        return self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE
+
+    @property
+    def resolved_executor(self) -> str:
+        """The executor name, defaulted from the worker count."""
+        if self.executor is not None:
+            return self.executor
+        return "process" if self.workers > 1 else "serial"
+
+
+@dataclass(frozen=True)
 class FlowConfig(_ConfigBase):
     """Aggregate configuration of a :class:`~repro.flow.pipeline.DesignFlow`."""
 
@@ -391,6 +472,7 @@ class FlowConfig(_ConfigBase):
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -405,4 +487,5 @@ _NESTED_CONFIG_FIELDS = {
     ("FlowConfig", "campaign"): CampaignConfig,
     ("FlowConfig", "analysis"): AnalysisConfig,
     ("FlowConfig", "assessment"): AssessmentConfig,
+    ("FlowConfig", "execution"): ExecutionConfig,
 }

@@ -25,8 +25,9 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from ..assess.accumulators import AssessmentChunk
+from ..assess.accumulators import AssessmentChunk, ClassStatsResult
 from ..assess.noise import GaussianAmplitudeNoise, NoiseChain, make_noise_model
+from ..assess.ttest import TVLAResult
 from ..boolexpr.ast import Expr
 from ..boolexpr.parser import parse
 from ..core.enhance import enhance_fc_dpdn
@@ -417,58 +418,127 @@ class DesignFlow:
             "devices": circuit.device_count(),
         }
 
-    def _compute_traces(self) -> Tuple[TraceSet, Dict[str, Any]]:
+    def _model_campaign_params(self):
+        """Validated ``(sbox, target_bit)`` of a leakage-model campaign."""
         campaign = self.config.campaign
-        if campaign.source == "model":
-            if not self.is_sbox_workload:
-                raise FlowError(
-                    "the Hamming-weight model campaign needs the S-box workload"
-                )
-            sbox = self._resolve(get_sbox, campaign.sbox)
-            self._require_key_in_sbox(campaign, sbox)
-            if campaign.model_leakage == "bit":
-                self._require_target_bit_in_sbox(sbox)
-                target_bit = self.config.analysis.target_bit
-            else:
-                target_bit = None
-            traces = acquire_model_traces(
-                key=campaign.key,
-                trace_count=campaign.trace_count,
-                sbox=sbox,
-                noise_std=campaign.noise_std,
-                seed=campaign.seed,
-                target_bit=target_bit,
+        if not self.is_sbox_workload:
+            raise FlowError(
+                "the Hamming-weight model campaign needs the S-box workload"
             )
-            statistics = energy_statistics(traces.traces.tolist())
-            return traces, {
-                "count": len(traces),
-                "source": f"model/{campaign.model_leakage}",
-                "mean_energy_J": float(statistics.mean),
-                "nsd": float(statistics.nsd),
-            }
+        sbox = self._resolve(get_sbox, campaign.sbox)
+        self._require_key_in_sbox(campaign, sbox)
+        if campaign.model_leakage == "bit":
+            self._require_target_bit_in_sbox(sbox)
+            target_bit = self.config.analysis.target_bit
+        else:
+            target_bit = None
+        return sbox, target_bit
+
+    def _circuit_campaign_params(self):
+        """Resolved ``(technology, gate_style)`` of a circuit campaign."""
         technology = self._resolve(get_technology, self.config.technology.name)
         if self.config.technology.overrides:
             technology = technology.scaled(**self.config.technology.overrides)
-        gate_style = self._resolve(get_gate_style, campaign.gate_style)
-        traces = acquire_circuit_traces(
+        gate_style = self._resolve(get_gate_style, self.config.campaign.gate_style)
+        return technology, gate_style
+
+    def _acquire_campaign(self, trace_count: int, seed) -> TraceSet:
+        """Acquire ``trace_count`` traces with the given random source.
+
+        ``seed`` is anything :data:`repro.power.trace.SeedLike` allows;
+        the whole-campaign path passes the campaign's integer seed, the
+        sharded engine passes each shard's spawned ``SeedSequence``.
+        """
+        campaign = self.config.campaign
+        if campaign.source == "model":
+            sbox, target_bit = self._model_campaign_params()
+            return acquire_model_traces(
+                key=campaign.key,
+                trace_count=trace_count,
+                sbox=sbox,
+                noise_std=campaign.noise_std,
+                seed=seed,
+                target_bit=target_bit,
+            )
+        technology, gate_style = self._circuit_campaign_params()
+        return acquire_circuit_traces(
             self.circuit(),
             key=campaign.key,
-            trace_count=campaign.trace_count,
+            trace_count=trace_count,
             technology=technology,
             gate_style=gate_style.name,
             noise_std=campaign.noise_std,
-            seed=campaign.seed,
+            seed=seed,
             warmup_cycles=campaign.warmup_cycles,
             batch_size=campaign.batch_size,
         )
+
+    def _acquire_trace_shard(self, shard) -> Tuple[np.ndarray, np.ndarray]:
+        """Acquire one engine shard (see :mod:`repro.engine.sharding`).
+
+        Returns the shard's ``(plaintexts, traces)`` arrays -- the
+        picklable payload the runner concatenates in shard order.
+        """
+        traces = self._acquire_campaign(shard.count, shard.seed_sequence)
+        return traces.plaintexts, traces.traces
+
+    def _trace_stage_details(self, traces: TraceSet) -> Dict[str, Any]:
+        campaign = self.config.campaign
         statistics = energy_statistics(traces.traces.tolist())
-        return traces, {
-            "count": len(traces),
-            "gate_style": gate_style.name,
-            "technology": technology.name,
-            "mean_energy_J": float(statistics.mean),
-            "nsd": float(statistics.nsd),
-        }
+        details: Dict[str, Any] = {"count": len(traces)}
+        if campaign.source == "model":
+            details["source"] = f"model/{campaign.model_leakage}"
+        else:
+            technology, gate_style = self._circuit_campaign_params()
+            details["gate_style"] = gate_style.name
+            details["technology"] = technology.name
+        details["mean_energy_J"] = float(statistics.mean)
+        details["nsd"] = float(statistics.nsd)
+        return details
+
+    def _artifact_store(self):
+        """The configured :class:`repro.engine.ArtifactStore`, or ``None``."""
+        execution = self.config.execution
+        if execution.store is None:
+            return None
+        from ..engine.store import ArtifactStore
+
+        return ArtifactStore(execution.store, mmap=execution.store_mmap)
+
+    def _compute_traces(self) -> Tuple[TraceSet, Dict[str, Any]]:
+        campaign = self.config.campaign
+        execution = self.config.execution
+        store = self._artifact_store()
+        record = key = None
+        if store is not None:
+            from ..engine.runner import trace_store_record
+            from ..engine.store import content_key
+
+            record = trace_store_record(self)
+            key = content_key(record)
+            cached = store.get_traceset(key)
+            if cached is not None:
+                # Stored summary statistics avoid re-walking the arrays
+                # (which would defeat store_mmap on huge campaigns).
+                details = store.get_details(key)
+                if details is None:
+                    details = self._trace_stage_details(cached)
+                details["store"] = "hit"
+                return cached, details
+        engine_details: Dict[str, Any] = {}
+        if execution.active:
+            from ..engine.runner import run_trace_campaign
+
+            traces, engine_details = run_trace_campaign(self)
+        else:
+            traces = self._acquire_campaign(campaign.trace_count, campaign.seed)
+        stage_details = self._trace_stage_details(traces)
+        details = dict(stage_details)
+        details.update(engine_details)
+        if store is not None:
+            store.put_traceset(key, traces, record, details=stage_details)
+            details["store"] = "miss"
+        return traces, details
 
     def _compute_analysis(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
         if not self.is_sbox_workload:
@@ -494,15 +564,20 @@ class DesignFlow:
 
     # ----------------------------------------------------- assessment streaming
 
-    def _assessment_energy_source(self) -> Tuple[int, Callable[[np.ndarray], np.ndarray]]:
+    def _assessment_energy_source(
+        self, warmup_rng: Optional[np.random.Generator] = None
+    ) -> Tuple[int, Callable[[np.ndarray], np.ndarray]]:
         """The assessment stream's energy backend.
 
         Returns ``(width, energies)`` where ``width`` is the stimulus bit
         width and ``energies`` maps a vector of stimulus values to their
         measured energies.  ``source="circuit"`` wraps a fresh (stateful)
         :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel` of the
-        mapped circuit, already warmed up; ``source="model"`` evaluates
-        the unprotected leakage model directly.
+        mapped circuit, warmed up with draws from ``warmup_rng``
+        (defaulting to a generator seeded with the assessment seed; the
+        sharded engine passes each shard's own generator);
+        ``source="model"`` evaluates the unprotected leakage model
+        directly.
         """
         campaign = self.config.campaign
         chunk_size = self.config.assessment.chunk_size
@@ -530,17 +605,15 @@ class DesignFlow:
             return width, energies
 
         circuit = self.circuit()
-        technology = self._resolve(get_technology, self.config.technology.name)
-        if self.config.technology.overrides:
-            technology = technology.scaled(**self.config.technology.overrides)
-        gate_style = self._resolve(get_gate_style, campaign.gate_style)
+        technology, gate_style = self._circuit_campaign_params()
         model = BatchedCircuitEnergyModel(
             circuit, technology=technology, gate_style=gate_style.name
         )
         width = len(circuit.primary_inputs)
 
         if campaign.warmup_cycles:
-            warmup_rng = np.random.default_rng(self.config.assessment.seed)
+            if warmup_rng is None:
+                warmup_rng = np.random.default_rng(self.config.assessment.seed)
             warmup = warmup_rng.integers(0, 1 << width, size=campaign.warmup_cycles)
             model.energies(nibble_matrix(warmup, width), batch_size=chunk_size)
 
@@ -549,7 +622,13 @@ class DesignFlow:
 
         return width, energies
 
-    def _assessment_chunks(self, noise: NoiseChain) -> Iterator[AssessmentChunk]:
+    def _assessment_chunks(
+        self,
+        noise: NoiseChain,
+        seed=None,
+        fixed_budget: Optional[int] = None,
+        random_budget: Optional[int] = None,
+    ) -> Iterator[AssessmentChunk]:
         """Stream the fixed-vs-random campaign in constant memory.
 
         Each chunk interleaves the two classes with exact final counts
@@ -557,16 +636,34 @@ class DesignFlow:
         remaining budget), simulates its energies through the batched
         backend and applies the ``noise`` chain -- nothing larger than
         one chunk is ever materialised.
+
+        ``seed`` (an integer or a ``SeedSequence``, *not* a live
+        generator: warmup and stimulus use two *separately constructed*
+        generators seeded from the same source -- their streams start
+        identically, exactly as the pre-engine assessment stage seeded
+        both from ``config.seed`` -- and a live generator cannot be
+        re-constructed twice) and the per-class budgets default to the
+        assessment config; the sharded engine passes each shard's
+        spawned ``SeedSequence`` and its slice of the budgets.
         """
         config = self.config.assessment
-        width, energies = self._assessment_energy_source()
+        if seed is None:
+            seed = config.seed
+        width, energies = self._assessment_energy_source(
+            warmup_rng=np.random.default_rng(seed)
+        )
         if not 0 <= config.fixed_plaintext < (1 << width):
             raise FlowError(
                 f"fixed_plaintext {config.fixed_plaintext:#x} does not fit the "
                 f"{width}-bit stimulus of flow {self.config.name!r}"
             )
-        rng = np.random.default_rng(config.seed)
-        remaining_fixed = remaining_random = config.traces_per_class
+        rng = np.random.default_rng(seed)
+        remaining_fixed = (
+            fixed_budget if fixed_budget is not None else config.traces_per_class
+        )
+        remaining_random = (
+            random_budget if random_budget is not None else config.traces_per_class
+        )
         while remaining_fixed or remaining_random:
             remaining = remaining_fixed + remaining_random
             count = min(config.chunk_size, remaining)
@@ -614,25 +711,94 @@ class DesignFlow:
         )
         return NoiseChain(models)
 
-    def _compute_assessment(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    def _fresh_assessment_methods(self) -> Dict[str, Any]:
         config = self.config.assessment
-        methods = {
+        return {
             name: self._resolve(get_assessment, name)(config)
             for name in config.methods
         }
-        noise = self._assessment_noise_chain()
+
+    def _stream_assessment(
+        self,
+        methods: Dict[str, Any],
+        noise: NoiseChain,
+        seed=None,
+        fixed_budget: Optional[int] = None,
+        random_budget: Optional[int] = None,
+    ) -> int:
+        """Stream one (whole or shard) campaign into ``methods``.
+
+        The single streaming protocol shared by the unsharded stage and
+        the engine's shard tasks, so the two paths cannot diverge.
+        Returns the number of chunks streamed.
+        """
         chunks = 0
-        for chunk in self._assessment_chunks(noise):
+        for chunk in self._assessment_chunks(
+            noise, seed=seed, fixed_budget=fixed_budget, random_budget=random_budget
+        ):
             chunks += 1
             for method in methods.values():
                 method.update(chunk)
-        outcomes = {name: method.finalize() for name, method in methods.items()}
-        details: Dict[str, Any] = {
-            "traces": 2 * config.traces_per_class,
-            "chunks": chunks,
-        }
-        if len(noise):
-            details["noise"] = noise.describe()
+        return chunks
+
+    def _run_assessment_shard(self, shard) -> Tuple[Dict[str, Any], int]:
+        """Stream one engine shard into fresh method instances.
+
+        Returns ``(methods, chunks)``; the runner reduces shard methods
+        with ``merge()`` in shard order (see
+        :func:`repro.engine.runner.run_assessment_campaign`).
+        """
+        methods = self._fresh_assessment_methods()
+        chunks = self._stream_assessment(
+            methods,
+            self._assessment_noise_chain(),
+            seed=shard.seed_sequence,
+            fixed_budget=shard.fixed_count,
+            random_budget=shard.random_count,
+        )
+        return methods, chunks
+
+    #: Reconstructors of cached assessment results, keyed by the
+    #: ``"method"`` field of each result's ``to_dict()`` record.
+    _ASSESSMENT_RESULT_DECODERS = {
+        "ttest": TVLAResult.from_dict,
+        "stats": ClassStatsResult.from_dict,
+    }
+
+    def _decode_assessment_payload(self, payload) -> Optional[Dict[str, Any]]:
+        """Rebuild cached assessment outcomes, or ``None`` when not possible."""
+        if not isinstance(payload, Mapping):
+            return None
+        outcomes: Dict[str, Any] = {}
+        for name in self.config.assessment.methods:
+            entry = payload.get(name)
+            if not isinstance(entry, Mapping):
+                return None
+            decoder = self._ASSESSMENT_RESULT_DECODERS.get(entry.get("method"))
+            if decoder is None:
+                return None
+            outcomes[name] = decoder(dict(entry))
+        return outcomes
+
+    def _encode_assessment_outcomes(self, outcomes: Dict[str, Any]):
+        """JSON payload of the outcomes, or ``None`` when not round-trippable."""
+        payload: Dict[str, Any] = {}
+        for name, outcome in outcomes.items():
+            to_dict = getattr(outcome, "to_dict", None)
+            if to_dict is None:
+                return None
+            entry = to_dict()
+            if (
+                not isinstance(entry, Mapping)
+                or entry.get("method") not in self._ASSESSMENT_RESULT_DECODERS
+            ):
+                return None
+            payload[name] = entry
+        return payload
+
+    def _assessment_verdict_details(
+        self, outcomes: Dict[str, Any], details: Dict[str, Any]
+    ) -> Dict[str, Any]:
         leaks = False
         for name, outcome in outcomes.items():
             max_abs_t = getattr(outcome, "max_abs_t", None)
@@ -644,4 +810,44 @@ class DesignFlow:
                 )
             leaks = leaks or bool(getattr(outcome, "leaks", False))
         details["leaks"] = leaks
-        return outcomes, details
+        return details
+
+    def _compute_assessment(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        config = self.config.assessment
+        execution = self.config.execution
+        store = self._artifact_store()
+        record = key = None
+        if store is not None:
+            from ..engine.runner import assessment_store_record
+            from ..engine.store import content_key
+
+            record = assessment_store_record(self)
+            key = content_key(record)
+            cached = self._decode_assessment_payload(
+                store.get_json(key, kind="assessment")
+            )
+            if cached is not None:
+                details = {"traces": 2 * config.traces_per_class, "store": "hit"}
+                cached_noise = self._assessment_noise_chain()
+                if len(cached_noise):
+                    details["noise"] = cached_noise.describe()
+                return cached, self._assessment_verdict_details(cached, details)
+        details = {"traces": 2 * config.traces_per_class}
+        noise = self._assessment_noise_chain()
+        if execution.active:
+            from ..engine.runner import run_assessment_campaign
+
+            outcomes, engine_details = run_assessment_campaign(self)
+            details.update(engine_details)
+        else:
+            methods = self._fresh_assessment_methods()
+            details["chunks"] = self._stream_assessment(methods, noise)
+            outcomes = {name: method.finalize() for name, method in methods.items()}
+        if len(noise):
+            details["noise"] = noise.describe()
+        if store is not None:
+            payload = self._encode_assessment_outcomes(outcomes)
+            if payload is not None:
+                store.put_json(key, payload, record, kind="assessment")
+                details["store"] = "miss"
+        return outcomes, self._assessment_verdict_details(outcomes, details)

@@ -17,7 +17,7 @@ measurements.  Two acquisition back-ends exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from .crypto import PRESENT_SBOX, bits_of, hamming_weight, keyed_sbox_expression
 
 __all__ = [
     "TraceSet",
+    "SeedLike",
     "build_sbox_circuit",
     "acquire_circuit_traces",
     "acquire_model_traces",
@@ -47,6 +48,14 @@ def nibble_matrix(values: np.ndarray, width: int = 4) -> np.ndarray:
 #: A measurement-environment model applied to the acquired energies:
 #: ``(energies, rng) -> energies`` (see :mod:`repro.assess.noise`).
 NoiseModelFn = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+#: Anything the acquisition functions accept as their random source: a
+#: plain integer seed, a :class:`numpy.random.SeedSequence` (e.g. one
+#: child of :meth:`numpy.random.SeedSequence.spawn`, so sharded
+#: campaigns draw from provably non-overlapping streams) or an existing
+#: :class:`numpy.random.Generator` (consumed in place -- successive
+#: calls continue the same stream instead of reseeding).
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator]
 
 
 @dataclass
@@ -102,7 +111,7 @@ def acquire_circuit_traces(
     technology: Optional[Technology] = None,
     gate_style: str = "sabl",
     noise_std: float = 0.0,
-    seed: int = 2005,
+    seed: SeedLike = 2005,
     warmup_cycles: int = 4,
     batch_size: Optional[int] = 1024,
     noise_model: Optional[NoiseModelFn] = None,
@@ -118,6 +127,12 @@ def acquire_circuit_traces(
     ``noise_std``.  ``warmup_cycles`` random cycles are simulated before
     recording so the internal charge states start from a realistic
     steady state rather than the artificial all-charged reset state.
+
+    ``seed`` also accepts a :class:`numpy.random.SeedSequence` or an
+    existing :class:`numpy.random.Generator` (see :data:`SeedLike`):
+    sharded campaigns hand each shard one ``SeedSequence.spawn`` child so
+    the shards draw from non-overlapping streams instead of every call
+    reseeding ``default_rng(seed)``.
 
     ``batch_size`` selects the vectorized acquisition back-end
     (:class:`repro.sabl.simulator.BatchedCircuitEnergyModel`), which
@@ -217,7 +232,7 @@ def acquire_model_traces(
     sbox: Sequence[int] = PRESENT_SBOX,
     energy_per_bit: float = 1.0,
     noise_std: float = 0.0,
-    seed: int = 2005,
+    seed: SeedLike = 2005,
     target_bit: Optional[int] = None,
     noise_model: Optional[NoiseModelFn] = None,
 ) -> TraceSet:
@@ -230,7 +245,9 @@ def acquire_model_traces(
     of the S-box output instead (the Kocher-style selection-bit model;
     note that full Hamming-weight leakage of a 4-bit S-box produces
     exact difference-of-means ghost peaks, so single-bit DPA needs this
-    variant to demonstrate a recovery).
+    variant to demonstrate a recovery).  ``seed`` accepts an integer, a
+    :class:`numpy.random.SeedSequence` or a live
+    :class:`numpy.random.Generator` (see :data:`SeedLike`).
     """
     rng = np.random.default_rng(seed)
     plaintexts = rng.integers(0, len(sbox), size=trace_count)

@@ -1,5 +1,6 @@
-"""Reporting helpers: text tables, ASCII waveform plots and experiment records."""
+"""Reporting helpers: text tables, ASCII plots, experiment and benchmark records."""
 
+from .bench import bench_output_path, write_benchmark_json
 from .figures import ascii_plot, ascii_waveform
 from .leakage import format_leakage_assessment
 from .results import ExperimentResult, format_experiment_results
@@ -12,4 +13,6 @@ __all__ = [
     "ascii_waveform",
     "ExperimentResult",
     "format_experiment_results",
+    "bench_output_path",
+    "write_benchmark_json",
 ]

@@ -1,0 +1,69 @@
+"""Machine-readable benchmark records (``BENCH_<name>.json``).
+
+The benchmarks print human tables; the perf *trajectory* needs numbers a
+script can diff across commits.  :func:`write_benchmark_json` gives every
+benchmark one shared way to emit them: a ``BENCH_<name>.json`` file at
+the repository root (or ``$REPRO_BENCH_DIR``) holding the measured
+results plus enough environment context (python/numpy versions, CPU
+count) to interpret a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["bench_output_path", "write_benchmark_json"]
+
+
+def bench_output_path(name: str, directory: Optional[Union[str, Path]] = None) -> Path:
+    """Where ``BENCH_<name>.json`` goes.
+
+    ``directory`` wins, then ``$REPRO_BENCH_DIR``, then the current
+    working directory (the repository root when benchmarks run via
+    ``pytest benchmarks/``).
+    """
+    if not name or not name.replace("_", "").replace("-", "").isalnum():
+        raise ValueError(f"benchmark name must be a simple slug, got {name!r}")
+    base = Path(directory or os.environ.get("REPRO_BENCH_DIR", "."))
+    return base / f"BENCH_{name}.json"
+
+
+def write_benchmark_json(
+    name: str,
+    results: Mapping[str, Any],
+    directory: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Write ``results`` as ``BENCH_<name>.json``; returns the path.
+
+    The file holds one record per write (the latest run wins; history
+    lives in version control, which is the point of committing the
+    files).  ``results`` must be JSON-able -- benchmarks pre-round their
+    floats so the records diff cleanly.
+    """
+    path = bench_output_path(name, directory)
+    record: Dict[str, Any] = {
+        "benchmark": name,
+        "created_unix": round(time.time(), 3),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": dict(results),
+    }
+    try:
+        import numpy
+
+        record["environment"]["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -160,3 +160,152 @@ class TestClassEnergyStats:
         assert result.to_dict()["method"] == "stats"
         rows = result.summary_rows()
         assert len(rows) == 2 and rows[0][0] == "stats"
+
+
+class TestMergeProperties:
+    """Deterministic merge behaviour (the map-reduce backbone)."""
+
+    def test_two_class_merge_matches_single_stream(self, noisy_values):
+        labels = np.random.default_rng(7).random(noisy_values.shape[0]) < 0.4
+        whole = FixedVsRandomAccumulator()
+        whole.update(noisy_values, labels)
+        left, right = FixedVsRandomAccumulator(), FixedVsRandomAccumulator()
+        split = noisy_values.shape[0] // 3
+        left.update(noisy_values[:split], labels[:split])
+        right.update(noisy_values[split:], labels[split:])
+        left.merge(right)
+        for merged, reference in zip(left.classes(), whole.classes()):
+            assert merged.count == reference.count
+            assert np.isclose(merged.mean, reference.mean, rtol=1e-10, atol=0.0)
+            assert np.isclose(merged.m2, reference.m2, rtol=1e-10, atol=0.0)
+
+    def test_selection_bit_merge_requires_matching_widths(self):
+        with pytest.raises(ValueError):
+            SelectionBitAccumulator(bits=2).merge(SelectionBitAccumulator(bits=3))
+
+    def test_merge_into_empty_accumulator_copies_state(self, noisy_values):
+        source = StreamingMoments()
+        source.update(noisy_values)
+        target = StreamingMoments()
+        target.merge(source)
+        assert target.count == source.count
+        assert target.mean == source.mean
+        assert target.m4 == source.m4
+
+
+# --------------------------------------------------------------------------
+# Property-based: merge() is associative and order-insensitive over random
+# shard splits -- the correctness backbone of the engine's map-reduce
+# (`repro.engine.runner` merges per-shard accumulators in shard order, but
+# any order must agree within float round-off).
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+PROPERTY_SETTINGS = dict(max_examples=60, deadline=None)
+
+
+@st.composite
+def sharded_values(draw):
+    """Energy-like values plus a random partition into 1..5 shards."""
+    count = draw(st.integers(min_value=4, max_value=200))
+    scale = draw(st.sampled_from([1.0, 1e-12, 1e6]))
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
+            ),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    values = scale * np.asarray(values, dtype=float)
+    shard_count = draw(st.integers(min_value=1, max_value=5))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=count),
+                min_size=shard_count - 1,
+                max_size=shard_count - 1,
+            )
+        )
+    )
+    shards = np.split(values, cuts)
+    order = draw(st.permutations(range(len(shards))))
+    return values, shards, list(order)
+
+
+def _merge_all(accumulators):
+    total = StreamingMoments()
+    for accumulator in accumulators:
+        total.merge(accumulator)
+    return total
+
+
+def _close(a, b):
+    return np.isclose(a, b, rtol=1e-10, atol=1e-30)
+
+
+class TestMergeIsAssociativeAndOrderInsensitive:
+    @given(sharded_values())
+    @settings(**PROPERTY_SETTINGS)
+    def test_random_shard_splits_reduce_to_the_one_shot_moments(self, case):
+        values, shards, order = case
+        reference = StreamingMoments()
+        reference.update(values)
+
+        per_shard = []
+        for shard in shards:
+            moments = StreamingMoments()
+            moments.update(shard)
+            per_shard.append(moments)
+
+        # In-order reduce (what the engine does) ...
+        in_order = _merge_all(per_shard)
+        # ... a shuffled reduce (order-insensitivity) ...
+        shuffled = _merge_all([per_shard[index] for index in order])
+        # ... and a pairwise tree reduce (associativity).
+        tree = [per_shard[index] for index in order]
+        while len(tree) > 1:
+            merged = StreamingMoments()
+            merged.merge(tree[0])
+            merged.merge(tree[1])
+            tree = [merged] + tree[2:]
+        tree_total = tree[0]
+
+        for candidate in (in_order, shuffled, tree_total):
+            assert candidate.count == reference.count
+            assert _close(candidate.mean, reference.mean)
+            assert _close(candidate.m2, reference.m2)
+            assert _close(candidate.m3, reference.m3)
+            assert _close(candidate.m4, reference.m4)
+            assert candidate.minimum == reference.minimum
+            assert candidate.maximum == reference.maximum
+
+    @given(sharded_values())
+    @settings(**PROPERTY_SETTINGS)
+    def test_two_class_shard_merge_matches_single_accumulator(self, case):
+        values, shards, order = case
+        labels = (np.arange(values.shape[0]) % 3) == 0  # deterministic classes
+
+        reference = FixedVsRandomAccumulator()
+        reference.update(values, labels)
+
+        per_shard = []
+        start = 0
+        for shard in shards:
+            accumulator = FixedVsRandomAccumulator()
+            accumulator.update(shard, labels[start:start + shard.shape[0]])
+            per_shard.append(accumulator)
+            start += shard.shape[0]
+
+        total = FixedVsRandomAccumulator()
+        for index in order:
+            total.merge(per_shard[index])
+
+        for merged, expected in zip(total.classes(), reference.classes()):
+            assert merged.count == expected.count
+            if expected.count:
+                assert _close(merged.mean, expected.mean)
+                assert _close(merged.m2, expected.m2)
+                assert _close(merged.m4, expected.m4)

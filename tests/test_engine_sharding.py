@@ -1,0 +1,70 @@
+"""Shard plans: determinism, coverage and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import plan_assessment_shards, plan_shards
+
+
+class TestTracePlans:
+    def test_covers_the_campaign_contiguously(self):
+        shards = plan_shards(1000, 256, seed=2005)
+        assert [shard.count for shard in shards] == [256, 256, 256, 232]
+        assert [shard.start for shard in shards] == [0, 256, 512, 768]
+        assert [shard.index for shard in shards] == [0, 1, 2, 3]
+
+    def test_exact_multiple_has_no_tail_shard(self):
+        shards = plan_shards(512, 256, seed=1)
+        assert [shard.count for shard in shards] == [256, 256]
+
+    def test_single_shard_when_campaign_fits(self):
+        (shard,) = plan_shards(100, 256, seed=1)
+        assert shard.count == 100 and shard.start == 0
+
+    def test_plan_is_deterministic(self):
+        first = plan_shards(1000, 128, seed=7)
+        second = plan_shards(1000, 128, seed=7)
+        for a, b in zip(first, second):
+            rng_a = np.random.default_rng(a.seed_sequence)
+            rng_b = np.random.default_rng(b.seed_sequence)
+            assert np.array_equal(rng_a.integers(0, 16, 64), rng_b.integers(0, 16, 64))
+
+    def test_shards_draw_from_distinct_streams(self):
+        shards = plan_shards(1000, 256, seed=7)
+        draws = [
+            np.random.default_rng(shard.seed_sequence).integers(0, 1 << 30, 32)
+            for shard in shards
+        ]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_plan_depends_on_the_seed(self):
+        a = plan_shards(256, 256, seed=1)[0]
+        b = plan_shards(256, 256, seed=2)[0]
+        assert not np.array_equal(
+            np.random.default_rng(a.seed_sequence).integers(0, 1 << 30, 32),
+            np.random.default_rng(b.seed_sequence).integers(0, 1 << 30, 32),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(0, 256, seed=1)
+        with pytest.raises(ValueError):
+            plan_shards(100, 0, seed=1)
+
+
+class TestAssessmentPlans:
+    def test_classes_split_identically_and_exactly(self):
+        shards = plan_assessment_shards(1000, 256, seed=3)
+        assert all(shard.fixed_count == shard.random_count for shard in shards)
+        assert sum(shard.fixed_count for shard in shards) == 1000
+        # ~shard_size traces per shard: shard_size // 2 per class.
+        assert {shard.fixed_count for shard in shards[:-1]} == {128}
+
+    def test_tiny_shard_size_still_progresses(self):
+        shards = plan_assessment_shards(3, 1, seed=3)
+        assert sum(shard.fixed_count for shard in shards) == 3
+        assert all(shard.fixed_count >= 1 for shard in shards)
