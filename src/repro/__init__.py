@@ -84,6 +84,7 @@ from .flow import (
     FlowError,
     FlowReport,
     FlowResult,
+    ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
     register_assessment,
@@ -92,8 +93,15 @@ from .flow import (
     register_sbox,
     register_technology,
 )
+from .scenarios import (
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    make_scenario,
+    register_scenario,
+)
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -127,6 +135,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",
@@ -135,6 +144,12 @@ __all__ = [
     "register_attack",
     "register_sbox",
     "register_assessment",
+    # scenarios
+    "Scenario",
+    "ScenarioError",
+    "register_scenario",
+    "get_scenario",
+    "make_scenario",
     # assess (leakage assessment)
     "StreamingMoments",
     "TVLAResult",

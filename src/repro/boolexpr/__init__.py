@@ -27,6 +27,7 @@ from .truthtable import (
     TruthTable,
     assignments,
     equivalent,
+    expression_from_function,
     is_contradiction,
     is_tautology,
     maxterms,
@@ -56,6 +57,7 @@ __all__ = [
     "is_contradiction",
     "minterms",
     "maxterms",
+    "expression_from_function",
     "complement",
     "dual",
     "to_nnf",

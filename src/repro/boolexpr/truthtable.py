@@ -10,7 +10,7 @@ exactly when ``f`` is false.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .ast import Expr
 
@@ -23,6 +23,7 @@ __all__ = [
     "is_contradiction",
     "minterms",
     "maxterms",
+    "expression_from_function",
 ]
 
 
@@ -151,3 +152,34 @@ def maxterms(expr: Expr, variables: Optional[Sequence[str]] = None) -> List[int]
     """Indices of the assignments for which ``expr`` is false."""
     table = truth_table(expr, variables)
     return [index for index, value in enumerate(table.outputs) if not value]
+
+
+def expression_from_function(
+    function: Callable[[Mapping[str, bool]], bool],
+    variables: Sequence[str],
+) -> Expr:
+    """Canonical sum-of-products expression of a Boolean function.
+
+    ``function`` maps an assignment of ``variables`` to the output value;
+    the assignments are swept in :func:`assignments` order, so the
+    resulting minterm order is deterministic.  This is the multi-output
+    synthesis entry point used by the crypto-scenario generators: each
+    output bit of a wide datapath becomes one expression over only the
+    variables in its cone of influence, keeping the product count at
+    ``2**len(variables)`` instead of ``2**width``.
+    """
+    from .ast import And, FALSE, TRUE, Not, Or, Var
+
+    names = list(variables)
+    if not names:
+        return TRUE if function({}) else FALSE
+    products: List[Expr] = []
+    for assignment in assignments(names):
+        if function(assignment):
+            literals = [
+                Var(name) if assignment[name] else Not(Var(name)) for name in names
+            ]
+            products.append(And(*literals) if len(literals) > 1 else literals[0])
+    if not products:
+        return FALSE
+    return Or(*products) if len(products) > 1 else products[0]

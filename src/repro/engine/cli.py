@@ -6,9 +6,9 @@ script by ``pyproject.toml``):
 * ``repro run`` -- execute one flow and print its stage summary (plus
   the assessment table when the stage ran);
 * ``repro sweep`` -- run a grid of flow configs (``--axis
-  gate_style=sabl,cvsl --axis noise_std=0,0.01``) across worker
-  processes, sharing one artifact store, and print/save the sweep
-  report;
+  gate_style=sabl,cvsl --axis noise_std=0,0.01 --axis
+  scenario=sbox,present_round``) across worker processes, sharing one
+  artifact store, and print/save the sweep report;
 * ``repro store`` -- inspect (``ls``) or empty (``clear``) an artifact
   store.
 
@@ -57,9 +57,20 @@ def _base_config(args: argparse.Namespace) -> FlowConfig:
             config = FlowConfig.from_dict(json.load(handle))
     else:
         config = FlowConfig(name=args.name)
+    # --scenario is plain shorthand for --set scenario=NAME: apply it
+    # through the same override path, before the --set loop so an
+    # explicit --set still wins.
+    if getattr(args, "scenario", None):
+        config = _apply_override(config, "scenario", args.scenario)
     for assignment in args.set or []:
         path, raw = _parse_assignment(assignment, "--set")
         config = _apply_override(config, path, _parse_value(raw))
+    if getattr(args, "scenario_param", None):
+        params = dict(config.scenario.params)
+        for assignment in args.scenario_param:
+            name, raw = _parse_assignment(assignment, "--scenario-param")
+            params[name] = _parse_value(raw)
+        config = config.replace(scenario=config.scenario.replace(params=params))
     return config
 
 
@@ -93,6 +104,20 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         metavar="PATH=VALUE",
         help="config override, e.g. --set trace_count=2000 or "
         "--set assessment.enabled=true (repeatable)",
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="registered cipher-datapath scenario the campaign runs "
+        "(sbox, present_round, present_rounds, ...); shorthand for "
+        "--set scenario=NAME",
+    )
+    parser.add_argument(
+        "--scenario-param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="scenario parameter, e.g. --scenario-param sboxes=2 or "
+        "--scenario-param rounds=3 (repeatable)",
     )
     parser.add_argument(
         "--workers", type=int, metavar="N", help="worker processes (default 1)"
@@ -129,8 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--axis",
         action="append",
         metavar="PATH=V1,V2,...",
-        help="sweep axis, e.g. --axis gate_style=sabl,cvsl (repeatable; "
-        "the grid is the cartesian product of all axes)",
+        help="sweep axis, e.g. --axis gate_style=sabl,cvsl or "
+        "--axis scenario=sbox,present_round (repeatable; the grid is "
+        "the cartesian product of all axes)",
     )
     sweep.add_argument(
         "--stages",

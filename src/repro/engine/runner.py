@@ -219,6 +219,11 @@ def _common_store_record(flow: DesignFlow) -> Dict[str, Any]:
     record: Dict[str, Any] = {
         "campaign": config.campaign.to_dict(),
         "technology": config.technology.to_dict(),
+        # The campaign carries the scenario *name*; the scenario hash
+        # also needs the parameters -- two configs differing only in,
+        # say, the S-box count of a present_round slice must never
+        # collide on a store key.
+        "scenario": config.scenario.to_dict(),
         "expressions": _expressions_record(flow),
         "sharding": (
             config.execution.effective_shard_size
@@ -226,13 +231,14 @@ def _common_store_record(flow: DesignFlow) -> Dict[str, Any]:
             else None
         ),
     }
-    # The single-bit leakage model reads the analysis target bit; it is
-    # part of the campaign content only in that mode.
-    if (
-        config.campaign.source == "model"
-        and config.campaign.model_leakage == "bit"
-    ):
-        record["target_bit"] = config.analysis.target_bit
+    # Leakage-model campaigns read the analysis attack point (the round
+    # register, and for the selection-bit model the S-box and bit); it
+    # is part of the campaign content only in that mode.
+    if config.campaign.source == "model":
+        record["target_round"] = config.analysis.target_round
+        if config.campaign.model_leakage == "bit":
+            record["target_bit"] = config.analysis.target_bit
+            record["target_sbox"] = config.analysis.target_sbox
     return record
 
 

@@ -11,12 +11,12 @@ acquired once, and reduces every cell into a JSON-able
 
 Axis paths name a section explicitly (``"campaign.noise_std"``,
 ``"assessment.traces_per_class"``, ``"synthesis.method"``); bare names
-(``"gate_style"``) are a convenience for campaign fields, which is where
-nearly every sweep axis lives::
+(``"gate_style"``, ``"scenario"``) are a convenience for campaign
+fields, which is where nearly every sweep axis lives::
 
     report = run_sweep(
         FlowConfig(name="styles"),
-        {"gate_style": ["sabl", "cvsl"], "network_style": ["fc", "genuine"]},
+        {"scenario": ["sbox", "present_round"], "gate_style": ["sabl", "cvsl"]},
         workers=4,
         store="./artifacts",
     )

@@ -23,6 +23,7 @@ from .config import (
     ConfigError,
     ExecutionConfig,
     FlowConfig,
+    ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",

@@ -28,6 +28,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",
@@ -195,13 +196,40 @@ class CellConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class ScenarioConfig(_ConfigBase):
+    """Parameters of the campaign's registered scenario.
+
+    The scenario *name* lives on :attr:`CampaignConfig.scenario` (it is
+    a campaign axis, sweepable as ``--axis scenario=...``); this config
+    carries the scenario-specific parameters, forwarded as keyword
+    arguments to the registered factory
+    (:func:`repro.scenarios.register_scenario`), e.g.
+    ``ScenarioConfig(params={"sboxes": 2})`` for a two-S-box
+    ``present_round`` slice.
+    """
+
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        params = dict(self.params)
+        bad = sorted(
+            str(name) for name in params if not isinstance(name, str) or not name
+        )
+        if bad:
+            raise ConfigError(
+                f"scenario parameter names must be non-empty strings, got {bad}"
+            )
+        object.__setattr__(self, "params", params)
+
+
+@dataclass(frozen=True)
 class CampaignConfig(_ConfigBase):
     """The trace-acquisition campaign: circuit mapping plus measurement.
 
     Attributes:
-        key: secret key folded into the S-box (a nibble for the default
-            4-bit PRESENT box; the exact bound follows the selected
-            S-box and is checked when the campaign runs).
+        key: secret key folded into the scenario datapath (a nibble for
+            the default S-box scenario; the exact bound follows the
+            selected scenario and is checked when the campaign runs).
         trace_count: number of recorded traces.
         source: ``"circuit"`` records the gate-level charge model;
             ``"model"`` records the leakage of an unprotected
@@ -209,14 +237,23 @@ class CampaignConfig(_ConfigBase):
             :func:`repro.power.trace.acquire_model_traces`; there
             ``noise_std`` is in units of the per-bit energy).
         model_leakage: leakage of the ``"model"`` source --
-            ``"hamming"`` (Hamming weight of the S-box output) or
-            ``"bit"`` (the analysis config's target bit alone, the
-            selection-bit model single-bit DPA assumes).
+            ``"hamming"`` (Hamming weight of the round register named by
+            the analysis config's ``target_round``), ``"bit"`` (the
+            predicted S-box output bit alone, the selection-bit model
+            single-bit DPA assumes) or ``"distance"`` (Hamming distance
+            of the round-register update, the CMOS register-switching
+            model).
         network_style: ``"fc"`` (protected) or ``"genuine"`` (leaky)
             gate networks for the mapped circuit.
         max_fanin: fan-in bound of the technology mapper.
         gate_style: registered gate style backend (``"sabl"``/``"cvsl"``).
-        sbox: registered S-box name (``"present"`` by default).
+        scenario: registered scenario backend
+            (:func:`repro.scenarios.register_scenario`); ``"sbox"`` (the
+            paper's keyed S-box), ``"present_round"`` and
+            ``"present_rounds"`` ship built in.  Scenario parameters
+            live in :class:`ScenarioConfig`.
+        sbox: registered S-box name (``"present"`` by default); the
+            substitution table the selected scenario builds on.
         noise_std: Gaussian measurement noise, as a fraction of the mean
             cycle energy.
         seed: RNG seed of the campaign.
@@ -233,6 +270,7 @@ class CampaignConfig(_ConfigBase):
     network_style: str = "fc"
     max_fanin: int = 2
     gate_style: str = "sabl"
+    scenario: str = "sbox"
     sbox: str = "present"
     noise_std: float = 0.0
     seed: int = 2005
@@ -251,9 +289,10 @@ class CampaignConfig(_ConfigBase):
             raise ConfigError(
                 f"source must be 'circuit' or 'model', got {self.source!r}"
             )
-        if self.model_leakage not in ("hamming", "bit"):
+        if self.model_leakage not in ("hamming", "bit", "distance"):
             raise ConfigError(
-                f"model_leakage must be 'hamming' or 'bit', got {self.model_leakage!r}"
+                f"model_leakage must be 'hamming', 'bit' or 'distance', "
+                f"got {self.model_leakage!r}"
             )
         if self.network_style not in ("fc", "genuine"):
             raise ConfigError(
@@ -263,6 +302,8 @@ class CampaignConfig(_ConfigBase):
             raise ConfigError(f"max_fanin must be at least 2, got {self.max_fanin}")
         if not self.gate_style:
             raise ConfigError("gate_style must be non-empty")
+        if not self.scenario:
+            raise ConfigError("scenario must be non-empty")
         if not self.sbox:
             raise ConfigError("sbox must be non-empty")
         if self.noise_std < 0.0:
@@ -279,16 +320,26 @@ class CampaignConfig(_ConfigBase):
 
 @dataclass(frozen=True)
 class AnalysisConfig(_ConfigBase):
-    """Which side-channel attacks the analysis stage runs.
+    """Which side-channel attacks the analysis stage runs, and where.
 
     ``attacks`` names registered attack backends
-    (:func:`repro.flow.registry.register_attack`); ``target_bit`` is the
-    predicted bit of single-bit difference-of-means DPA; ``key_space``
+    (:func:`repro.flow.registry.register_attack`); ``key_space``
     overrides the number of key guesses (defaults to the S-box size).
+    The remaining fields select the scenario attack point:
+    ``target_sbox`` picks which round-1 parallel S-box the selection
+    function predicts (multi-S-box scenarios declare one attack point
+    per S-box; the paper's single-S-box workload only has slice 0),
+    ``target_bit`` the predicted bit of single-bit difference-of-means
+    DPA, and ``target_round`` the round register the leakage-model
+    campaigns (``model_leakage`` of ``"hamming"``/``"bit"``/
+    ``"distance"``) refer to.  Bounds follow the selected scenario and
+    are checked when the stage runs.
     """
 
     attacks: Tuple[str, ...] = ("dom", "cpa")
     target_bit: int = 0
+    target_sbox: int = 0
+    target_round: int = 1
     key_space: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -297,6 +348,16 @@ class AnalysisConfig(_ConfigBase):
             raise ConfigError("at least one attack must be configured")
         if not 0 <= self.target_bit < 8:
             raise ConfigError(f"target_bit must be in 0..7, got {self.target_bit}")
+        if self.target_sbox < 0:
+            raise ConfigError(
+                f"target_sbox must be non-negative (the upper bound follows "
+                f"the scenario and is checked at run time), got {self.target_sbox}"
+            )
+        if self.target_round < 1:
+            raise ConfigError(
+                f"target_round must be at least 1 (the upper bound follows "
+                f"the scenario and is checked at run time), got {self.target_round}"
+            )
         if self.key_space is not None and self.key_space < 2:
             raise ConfigError(f"key_space must be at least 2, got {self.key_space}")
 
@@ -469,6 +530,7 @@ class FlowConfig(_ConfigBase):
     synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
     technology: TechnologyConfig = field(default_factory=TechnologyConfig)
     cells: CellConfig = field(default_factory=CellConfig)
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
@@ -484,6 +546,7 @@ _NESTED_CONFIG_FIELDS = {
     ("FlowConfig", "synthesis"): SynthesisConfig,
     ("FlowConfig", "technology"): TechnologyConfig,
     ("FlowConfig", "cells"): CellConfig,
+    ("FlowConfig", "scenario"): ScenarioConfig,
     ("FlowConfig", "campaign"): CampaignConfig,
     ("FlowConfig", "analysis"): AnalysisConfig,
     ("FlowConfig", "assessment"): AssessmentConfig,

@@ -37,13 +37,12 @@ from ..core.transform import transform_to_fc
 from ..core.verify import verify_gate
 from ..network.build import build_genuine_dpdn
 from ..network.netlist import DifferentialPullDownNetwork
-from ..power.crypto import hamming_weight
 from ..power.metrics import energy_statistics
 from ..power.trace import (
     TraceSet,
     nibble_matrix,
     acquire_circuit_traces,
-    acquire_model_traces,
+    acquire_table_model_traces,
 )
 from ..sabl.circuit import DifferentialCircuit, map_expressions
 from ..sabl.simulator import BatchedCircuitEnergyModel
@@ -53,7 +52,6 @@ from .registry import (
     get_assessment,
     get_attack,
     get_gate_style,
-    get_sbox,
     get_technology,
 )
 from .results import FlowReport, FlowResult
@@ -138,8 +136,14 @@ class DesignFlow:
 
     @property
     def is_sbox_workload(self) -> bool:
-        """True when the flow's outputs are the keyed S-box bits."""
+        """True when the flow's outputs come from the campaign's registered
+        scenario (a keyed cipher datapath -- the paper's S-box by default)
+        rather than hand-written expressions."""
         return self._expression_spec is None
+
+    # ``is_sbox_workload`` predates the scenario registry; the generic
+    # name reads better in scenario-aware code.
+    is_scenario_workload = is_sbox_workload
 
     def computed_stages(self) -> Tuple[str, ...]:
         """Stages whose results are currently cached, in canonical order."""
@@ -276,36 +280,58 @@ class DesignFlow:
         except UnknownBackendError as error:
             raise FlowError(str(error)) from error
 
-    @staticmethod
-    def _require_key_in_sbox(campaign, sbox) -> None:
-        if not 0 <= campaign.key < len(sbox):
-            raise FlowError(
-                f"key {campaign.key:#x} does not fit the {len(sbox)}-entry "
-                f"S-box {campaign.sbox!r}"
-            )
+    def _scenario(self):
+        """The campaign's :class:`repro.scenarios.Scenario` instance.
 
-    def _require_target_bit_in_sbox(self, sbox) -> None:
-        target_bit = self.config.analysis.target_bit
-        output_bits = max(sbox).bit_length()
-        if target_bit >= output_bits:
-            raise FlowError(
-                f"target_bit {target_bit} is outside the {output_bits}-bit "
-                f"output of S-box {self.config.campaign.sbox!r}"
+        Built fresh on each use (construction is cheap; the expensive
+        expression enumeration happens inside the cached ``expressions``
+        stage), so config replacement plus :meth:`invalidate` always
+        sees the current scenario selection.
+        """
+        from ..scenarios import ScenarioError, make_scenario
+
+        campaign = self.config.campaign
+        try:
+            return make_scenario(
+                campaign.scenario,
+                key=campaign.key,
+                sbox=campaign.sbox,
+                params=self.config.scenario.params,
             )
+        except UnknownBackendError as error:
+            raise FlowError(str(error)) from error
+        except ScenarioError as error:
+            raise FlowError(str(error)) from error
+
+    def _require_scenario_workload(self, what: str):
+        """The scenario, or a :class:`FlowError` for expression flows."""
+        if not self.is_sbox_workload:
+            raise FlowError(
+                f"{what} needs the scenario workload -- the keyed S-box or "
+                f"another registered cipher datapath (use DesignFlow.sbox); "
+                f"custom-expression flows stop at traces"
+            )
+        return self._scenario()
 
     def _compute_expressions(self) -> Tuple[Dict[str, Expr], Dict[str, Any]]:
-        campaign = self.config.campaign
         if self._expression_spec is None:
-            from ..power.crypto import keyed_sbox_expressions
+            from ..scenarios import ScenarioError
 
-            sbox = self._resolve(get_sbox, campaign.sbox)
-            if len(sbox) != 16:
-                raise FlowError(
-                    f"the circuit workload needs a 4-bit S-box; {campaign.sbox!r} "
-                    f"has {len(sbox)} entries"
-                )
-            self._require_key_in_sbox(campaign, sbox)
-            expressions = keyed_sbox_expressions(campaign.key, sbox=sbox)
+            scenario = self._scenario()
+            try:
+                expressions = scenario.expressions()
+            except ScenarioError as error:
+                raise FlowError(str(error)) from error
+            variables = sorted(
+                {name for expr in expressions.values() for name in expr.variables()}
+            )
+            return expressions, {
+                "outputs": len(expressions),
+                "inputs": len(variables),
+                "scenario": scenario.name,
+                "width": scenario.input_width,
+                "rounds": scenario.rounds,
+            }
         else:
             expressions = {}
             for name, expression in self._expression_spec.items():
@@ -404,7 +430,9 @@ class DesignFlow:
         expressions = self.expressions()
         primary_inputs = None
         if self.is_sbox_workload:
-            primary_inputs = [f"p{i}" for i in range(4)]
+            # Fix the input ordering to the scenario's plaintext bits:
+            # narrow output cones must not reorder (or drop) stimulus bits.
+            primary_inputs = [f"p{i}" for i in range(self._scenario().input_width)]
         circuit = map_expressions(
             expressions,
             primary_inputs=primary_inputs,
@@ -418,21 +446,40 @@ class DesignFlow:
             "devices": circuit.device_count(),
         }
 
-    def _model_campaign_params(self):
-        """Validated ``(sbox, target_bit)`` of a leakage-model campaign."""
+    def _model_leakage_table(self, scenario) -> Tuple[np.ndarray, str]:
+        """The leakage table and description of a ``source="model"`` campaign.
+
+        The table comes from the scenario's round-register state tables
+        (see :meth:`repro.scenarios.Scenario.leakage_table`); the attack
+        point -- target round, S-box and bit -- comes from the analysis
+        config.
+        """
+        from ..scenarios import ScenarioError
+
         campaign = self.config.campaign
-        if not self.is_sbox_workload:
-            raise FlowError(
-                "the Hamming-weight model campaign needs the S-box workload"
+        analysis = self.config.analysis
+        try:
+            table = scenario.leakage_table(
+                campaign.model_leakage,
+                target_round=analysis.target_round,
+                target_sbox=analysis.target_sbox,
+                target_bit=analysis.target_bit,
             )
-        sbox = self._resolve(get_sbox, campaign.sbox)
-        self._require_key_in_sbox(campaign, sbox)
+        except ScenarioError as error:
+            raise FlowError(str(error)) from error
         if campaign.model_leakage == "bit":
-            self._require_target_bit_in_sbox(sbox)
-            target_bit = self.config.analysis.target_bit
+            description = (
+                f"single-bit model (bit {analysis.target_bit}, "
+                f"noise={campaign.noise_std})"
+            )
+        elif campaign.model_leakage == "distance":
+            description = (
+                f"hamming-distance model (round {analysis.target_round}, "
+                f"noise={campaign.noise_std})"
+            )
         else:
-            target_bit = None
-        return sbox, target_bit
+            description = f"hamming-weight model (noise={campaign.noise_std})"
+        return table, description
 
     def _circuit_campaign_params(self):
         """Resolved ``(technology, gate_style)`` of a circuit campaign."""
@@ -451,14 +498,15 @@ class DesignFlow:
         """
         campaign = self.config.campaign
         if campaign.source == "model":
-            sbox, target_bit = self._model_campaign_params()
-            return acquire_model_traces(
+            scenario = self._require_scenario_workload("the leakage-model campaign")
+            table, description = self._model_leakage_table(scenario)
+            return acquire_table_model_traces(
+                table,
                 key=campaign.key,
                 trace_count=trace_count,
-                sbox=sbox,
                 noise_std=campaign.noise_std,
                 seed=seed,
-                target_bit=target_bit,
+                description=description,
             )
         technology, gate_style = self._circuit_campaign_params()
         return acquire_circuit_traces(
@@ -486,6 +534,8 @@ class DesignFlow:
         campaign = self.config.campaign
         statistics = energy_statistics(traces.traces.tolist())
         details: Dict[str, Any] = {"count": len(traces)}
+        if self.is_sbox_workload:
+            details["scenario"] = campaign.scenario
         if campaign.source == "model":
             details["source"] = f"model/{campaign.model_leakage}"
         else:
@@ -540,21 +590,53 @@ class DesignFlow:
             details["store"] = "miss"
         return traces, details
 
-    def _compute_analysis(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
-        if not self.is_sbox_workload:
-            raise FlowError(
-                "the analysis stage needs the S-box workload "
-                "(use DesignFlow.sbox); custom-expression flows stop at traces"
-            )
+    def _attack_campaign(self) -> Tuple[TraceSet, Tuple[int, ...], Dict[str, Any]]:
+        """The campaign projected onto the configured attack point.
+
+        The scenario declares how the recorded plaintexts map onto the
+        targeted round-1 S-box input and which subkey the projected
+        attack must recover (see
+        :meth:`repro.scenarios.Scenario.attack_view`); for the paper's
+        single-S-box scenario the projection is the identity.  Returns
+        ``(projected_traces, selection_sbox, details)``.
+        """
+        from ..scenarios import ScenarioError
+
         analysis = self.config.analysis
-        sbox = self._resolve(get_sbox, self.config.campaign.sbox)
-        self._require_target_bit_in_sbox(sbox)
+        scenario = self._require_scenario_workload("the analysis stage")
         traces = self.traces()
-        results: Dict[str, Any] = {}
+        try:
+            projected, subkey, table = scenario.attack_view(
+                traces.plaintexts, analysis.target_sbox
+            )
+        except ScenarioError as error:
+            raise FlowError(str(error)) from error
+        output_bits = max(table).bit_length()
+        if analysis.target_bit >= output_bits:
+            raise FlowError(
+                f"target_bit {analysis.target_bit} is outside the "
+                f"{output_bits}-bit output of S-box {self.config.campaign.sbox!r}"
+            )
         details: Dict[str, Any] = {}
+        if len(scenario.attack_points()) > 1:
+            details["attack_point"] = (
+                f"r1_sbox{analysis.target_sbox}/bit{analysis.target_bit}"
+            )
+        view = TraceSet(
+            plaintexts=projected,
+            traces=traces.traces,
+            key=subkey,
+            description=traces.description,
+        )
+        return view, table, details
+
+    def _compute_analysis(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        analysis = self.config.analysis
+        view, table, details = self._attack_campaign()
+        results: Dict[str, Any] = {}
         for attack_name in analysis.attacks:
             attack = self._resolve(get_attack, attack_name)
-            outcome = attack(traces, sbox, analysis)
+            outcome = attack(view, table, analysis)
             results[attack_name] = outcome
             details[attack_name] = (
                 f"{'recovered' if outcome.succeeded else 'resisted'} "
@@ -582,27 +664,15 @@ class DesignFlow:
         campaign = self.config.campaign
         chunk_size = self.config.assessment.chunk_size
         if campaign.source == "model":
-            if not self.is_sbox_workload:
-                raise FlowError(
-                    "the leakage-model assessment needs the S-box workload"
-                )
-            sbox = self._resolve(get_sbox, campaign.sbox)
-            self._require_key_in_sbox(campaign, sbox)
-            width = (len(sbox) - 1).bit_length()
-            table = np.asarray(sbox, dtype=np.int64)
-            if campaign.model_leakage == "bit":
-                self._require_target_bit_in_sbox(sbox)
-                target_bit = self.config.analysis.target_bit
-                leakage = ((table >> target_bit) & 1).astype(float)
-            else:
-                leakage = np.array(
-                    [float(hamming_weight(value)) for value in sbox], dtype=float
-                )
+            scenario = self._require_scenario_workload(
+                "the leakage-model assessment"
+            )
+            leakage, _ = self._model_leakage_table(scenario)
 
             def energies(plaintexts: np.ndarray) -> np.ndarray:
-                return leakage[plaintexts ^ campaign.key]
+                return leakage[plaintexts]
 
-            return width, energies
+            return scenario.input_width, energies
 
         circuit = self.circuit()
         technology, gate_style = self._circuit_campaign_params()

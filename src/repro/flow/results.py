@@ -145,11 +145,18 @@ class FlowReport:
         records: List[ExperimentResult] = []
         campaign = self.config.campaign
         protected = campaign.source == "circuit" and campaign.network_style == "fc"
+        model_labels = {
+            "hamming": "Hamming-weight model",
+            "bit": "selection-bit model",
+            "distance": "Hamming-distance model",
+        }
         implementation = (
-            "Hamming-weight model"
+            model_labels.get(campaign.model_leakage, "leakage model")
             if campaign.source == "model"
             else campaign.network_style
         )
+        if campaign.scenario != "sbox":
+            implementation = f"{campaign.scenario} {implementation}"
         records.extend(self._analysis_records(protected, implementation))
         records.extend(self._assessment_records(protected, implementation))
         return records

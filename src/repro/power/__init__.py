@@ -30,6 +30,7 @@ from .trace import (
     TraceSet,
     acquire_circuit_traces,
     acquire_model_traces,
+    acquire_table_model_traces,
     build_sbox_circuit,
     simulated_energy_predictor,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "build_sbox_circuit",
     "acquire_circuit_traces",
     "acquire_model_traces",
+    "acquire_table_model_traces",
     "AttackResult",
     "dpa_difference_of_means",
     "cpa_correlation",

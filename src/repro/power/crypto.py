@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from ..boolexpr.ast import Expr, Not, Var
-from ..boolexpr.transforms import sum_of_products
-from ..boolexpr.simplify import simplify
+from ..boolexpr.ast import Expr
 
 __all__ = [
     "PRESENT_SBOX",
@@ -67,7 +65,16 @@ def hamming_weight(value: int) -> int:
 
 
 def bits_of(value: int, width: int) -> List[bool]:
-    """Little-endian bit list of ``value`` (bit 0 first)."""
+    """Little-endian bit list of ``value`` (bit 0 first).
+
+    ``value`` must fit in ``width`` bits; truncating silently would turn
+    a mis-sized stimulus (e.g. a 64-bit round state fed to a 16-bit
+    slice) into wrong-but-plausible vectors, so the bound is enforced.
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
     return [bool((value >> position) & 1) for position in range(width)]
 
 
@@ -104,6 +111,8 @@ def sbox_output_expressions(
             f"S-box with {input_bits}-bit input needs {1 << input_bits} entries, "
             f"got {len(sbox)}"
         )
+    from ..boolexpr.truthtable import expression_from_function
+
     variables = [f"{variable_prefix}{index}" for index in range(input_bits)]
     expressions: Dict[str, Expr] = {}
     for bit in range(output_bits):
@@ -111,20 +120,7 @@ def sbox_output_expressions(
             index = from_bits([assignment[name] for name in variables])
             return bool((sbox[index] >> bit) & 1)
 
-        # Build the canonical SOP by sweeping the truth table directly.
-        from ..boolexpr.truthtable import assignments
-        from ..boolexpr.ast import And, Or, FALSE
-
-        products: List[Expr] = []
-        for assignment in assignments(variables):
-            if bit_function(assignment):
-                literals = [
-                    Var(name) if assignment[name] else Not(Var(name)) for name in variables
-                ]
-                products.append(And(*literals) if len(literals) > 1 else literals[0])
-        expressions[f"y{bit}"] = Or(*products) if len(products) > 1 else (
-            products[0] if products else FALSE
-        )
+        expressions[f"y{bit}"] = expression_from_function(bit_function, variables)
     return expressions
 
 

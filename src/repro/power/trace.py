@@ -32,6 +32,7 @@ __all__ = [
     "build_sbox_circuit",
     "acquire_circuit_traces",
     "acquire_model_traces",
+    "acquire_table_model_traces",
     "nibble_matrix",
 ]
 
@@ -226,6 +227,49 @@ def simulated_energy_predictor(
     return predict
 
 
+def acquire_table_model_traces(
+    leakage_table: np.ndarray,
+    key: int,
+    trace_count: int,
+    energy_per_bit: float = 1.0,
+    noise_std: float = 0.0,
+    seed: SeedLike = 2005,
+    noise_model: Optional[NoiseModelFn] = None,
+    description: str = "",
+) -> TraceSet:
+    """Batched leakage-model acquisition from a per-plaintext table.
+
+    ``leakage_table[p]`` is the noiseless leakage of plaintext ``p``
+    (e.g. the Hamming weight or Hamming distance of a multi-bit round
+    register, with the key already folded in -- see
+    :meth:`repro.scenarios.Scenario.leakage_table`); the table length
+    must be a power of two and fixes the plaintext space.  The whole
+    campaign is a single vectorized gather, so wide-state scenario
+    models acquire at array speed.  The random stream (plaintext draws
+    first, then the optional Gaussian noise) matches
+    :func:`acquire_model_traces` exactly.
+    """
+    leakage_table = np.asarray(leakage_table, dtype=float)
+    size = leakage_table.shape[0]
+    if size < 2 or size & (size - 1):
+        raise ValueError(
+            f"leakage table length must be a power of two >= 2, got {size}"
+        )
+    rng = np.random.default_rng(seed)
+    plaintexts = rng.integers(0, size, size=trace_count)
+    leakage = leakage_table[plaintexts] * energy_per_bit
+    if noise_std > 0.0:
+        leakage = leakage + rng.normal(0.0, noise_std * energy_per_bit, size=trace_count)
+    if noise_model is not None:
+        leakage = noise_model(leakage, rng)
+    return TraceSet(
+        plaintexts=plaintexts,
+        traces=leakage,
+        key=key,
+        description=description or f"table model (noise={noise_std})",
+    )
+
+
 def acquire_model_traces(
     key: int,
     trace_count: int,
@@ -248,28 +292,28 @@ def acquire_model_traces(
     variant to demonstrate a recovery).  ``seed`` accepts an integer, a
     :class:`numpy.random.SeedSequence` or a live
     :class:`numpy.random.Generator` (see :data:`SeedLike`).
+
+    This is the single-S-box front end of
+    :func:`acquire_table_model_traces`; multi-round scenarios tabulate
+    their round-register leakage and call the table back end directly.
     """
-    rng = np.random.default_rng(seed)
-    plaintexts = rng.integers(0, len(sbox), size=trace_count)
     if target_bit is None:
-        leakage = np.array(
-            [hamming_weight(sbox[int(p) ^ key]) * energy_per_bit for p in plaintexts],
-            dtype=float,
+        table = np.array(
+            [float(hamming_weight(sbox[index ^ key])) for index in range(len(sbox))]
         )
         description = f"hamming-weight model (noise={noise_std})"
     else:
-        leakage = np.array(
-            [((sbox[int(p) ^ key] >> target_bit) & 1) * energy_per_bit for p in plaintexts],
-            dtype=float,
+        table = np.array(
+            [float((sbox[index ^ key] >> target_bit) & 1) for index in range(len(sbox))]
         )
         description = f"single-bit model (bit {target_bit}, noise={noise_std})"
-    if noise_std > 0.0:
-        leakage = leakage + rng.normal(0.0, noise_std * energy_per_bit, size=trace_count)
-    if noise_model is not None:
-        leakage = noise_model(leakage, rng)
-    return TraceSet(
-        plaintexts=plaintexts,
-        traces=leakage,
+    return acquire_table_model_traces(
+        table,
         key=key,
+        trace_count=trace_count,
+        energy_per_bit=energy_per_bit,
+        noise_std=noise_std,
+        seed=seed,
+        noise_model=noise_model,
         description=description,
     )

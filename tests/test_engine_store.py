@@ -7,11 +7,13 @@ import pytest
 
 from repro.engine import ArtifactStore, content_key, trace_store_record
 from repro.flow import (
+    AnalysisConfig,
     AssessmentConfig,
     CampaignConfig,
     DesignFlow,
     ExecutionConfig,
     FlowConfig,
+    ScenarioConfig,
 )
 from repro.power.trace import TraceSet
 
@@ -62,6 +64,66 @@ class TestContentKey:
         assert inactive != sharded
         # Worker count and executor do not change the streams.
         assert key_with(ExecutionConfig(workers=4, shard_size=64)) == sharded
+
+
+class TestScenarioKeys:
+    """The scenario hash: name *and* parameters are campaign content."""
+
+    @staticmethod
+    def _key(scenario="sbox", params=None, analysis=None, **campaign):
+        flow = DesignFlow(
+            None,
+            FlowConfig(
+                campaign=CampaignConfig(scenario=scenario, **campaign),
+                scenario=ScenarioConfig(params=params or {}),
+                analysis=analysis or AnalysisConfig(),
+            ),
+        )
+        return content_key(trace_store_record(flow))
+
+    def test_scenario_name_is_part_of_the_key(self):
+        assert self._key(scenario="sbox") != self._key(scenario="present_round")
+
+    def test_scenario_params_are_part_of_the_key(self):
+        base = self._key(scenario="present_round", params={"sboxes": 2})
+        assert self._key(scenario="present_round", params={"sboxes": 4}) != base
+        assert self._key(scenario="present_round", params={"sboxes": 2}) == base
+
+    def test_rounds_param_differs_too(self):
+        assert self._key(
+            scenario="present_rounds", params={"sboxes": 1, "rounds": 2}
+        ) != self._key(scenario="present_rounds", params={"sboxes": 1, "rounds": 3})
+
+    def test_model_campaigns_key_on_the_attack_point(self):
+        base = self._key(
+            scenario="present_rounds",
+            params={"sboxes": 1, "rounds": 2},
+            source="model",
+            model_leakage="distance",
+        )
+        moved = self._key(
+            scenario="present_rounds",
+            params={"sboxes": 1, "rounds": 2},
+            source="model",
+            model_leakage="distance",
+            analysis=AnalysisConfig(target_round=2),
+        )
+        assert base != moved
+        # Circuit campaigns ignore the analysis config entirely.
+        assert self._key() == self._key(analysis=AnalysisConfig(target_bit=2))
+
+    def test_bit_model_keys_on_target_sbox_and_bit(self):
+        def bit_key(**analysis):
+            return self._key(
+                scenario="present_round",
+                params={"sboxes": 2},
+                source="model",
+                model_leakage="bit",
+                analysis=AnalysisConfig(**analysis),
+            )
+
+        assert bit_key(target_sbox=0) != bit_key(target_sbox=1)
+        assert bit_key(target_bit=0) != bit_key(target_bit=1)
 
 
 class TestArtifactStore:

@@ -13,6 +13,7 @@ from repro.flow import (
     DesignFlow,
     FlowConfig,
     FlowError,
+    ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
 )
@@ -29,8 +30,11 @@ class TestConfigs:
             synthesis=SynthesisConfig(method="transform", decomposition="balanced"),
             technology=TechnologyConfig(name="generic_130nm", overrides={"vdd": 1.1}),
             cells=CellConfig(names=("AND2", "OR2")),
-            campaign=CampaignConfig(key=0x5, trace_count=64, noise_std=0.01),
-            analysis=AnalysisConfig(attacks=("cpa",), target_bit=2),
+            scenario=ScenarioConfig(params={"sboxes": 2}),
+            campaign=CampaignConfig(
+                key=0x5, trace_count=64, noise_std=0.01, scenario="present_round"
+            ),
+            analysis=AnalysisConfig(attacks=("cpa",), target_bit=2, target_sbox=1),
         )
         rebuilt = FlowConfig.from_dict(config.to_dict())
         assert rebuilt == config
@@ -300,3 +304,97 @@ class TestBatchedAcquisition:
         assert np.allclose(
             batched.traces().traces, loop.traces().traces, rtol=1e-12, atol=0.0
         )
+
+
+# ------------------------------------------------------------------- scenarios
+
+
+class TestScenarioFlows:
+    def _round_flow(self, **overrides):
+        campaign = dict(key=0x6B, scenario="present_round", trace_count=32)
+        campaign.update(overrides)
+        return DesignFlow(
+            None,
+            FlowConfig(
+                name="round_flow",
+                campaign=CampaignConfig(**campaign),
+                scenario=ScenarioConfig(params={"sboxes": 2}),
+            ),
+        )
+
+    def test_default_scenario_matches_legacy_sbox_campaign(self):
+        # The "sbox" backend *is* the pre-scenario behaviour: same
+        # expressions, same circuit, bit-identical traces.
+        flow = DesignFlow.sbox(key=0xB, trace_count=40, seed=11)
+        circuit = build_sbox_circuit(0xB, "fc", max_fanin=2)
+        direct = acquire_circuit_traces(circuit, 0xB, 40, seed=11)
+        assert np.array_equal(flow.traces().traces, direct.traces)
+        assert flow.result("traces").details["scenario"] == "sbox"
+
+    def test_round_flow_runs_end_to_end(self):
+        flow = self._round_flow()
+        report = flow.run()
+        assert report["expressions"].details["scenario"] == "present_round"
+        assert report["expressions"].details["width"] == 8
+        assert len(flow.circuit().primary_inputs) == 8
+        assert "analysis" in report.stages()
+
+    def test_scenario_params_change_the_width(self):
+        narrow = DesignFlow(
+            None,
+            FlowConfig(
+                campaign=CampaignConfig(key=0x6, scenario="present_round", trace_count=8),
+                scenario=ScenarioConfig(params={"sboxes": 1}),
+            ),
+        )
+        assert len(narrow.circuit().primary_inputs) == 4
+
+    def test_analysis_projects_onto_the_target_sbox(self):
+        flow = self._round_flow()
+        flow.config = flow.config.replace(
+            analysis=AnalysisConfig(attacks=("dom",), target_sbox=1)
+        )
+        flow.result("analysis")
+        details = flow.result("analysis").details
+        assert details["attack_point"] == "r1_sbox1/bit0"
+
+    def test_target_sbox_outside_slice_rejected(self):
+        flow = self._round_flow()
+        flow.config = flow.config.replace(
+            analysis=AnalysisConfig(attacks=("dom",), target_sbox=5)
+        )
+        with pytest.raises(FlowError, match="target_sbox 5"):
+            flow.analysis()
+
+    def test_key_bound_follows_the_scenario(self):
+        wide_key = DesignFlow(
+            None,
+            FlowConfig(
+                campaign=CampaignConfig(
+                    key=0x100, scenario="present_round", trace_count=8
+                ),
+                scenario=ScenarioConfig(params={"sboxes": 1}),
+            ),
+        )
+        with pytest.raises(FlowError, match="does not fit"):
+            wide_key.expressions()
+
+    def test_distance_model_requires_valid_round(self):
+        flow = self._round_flow(source="model", model_leakage="distance")
+        flow.config = flow.config.replace(
+            analysis=AnalysisConfig(attacks=("dom",), target_round=3)
+        )
+        with pytest.raises(FlowError, match="target round 3"):
+            flow.traces()
+
+    def test_unknown_scenario_is_a_flow_error(self):
+        flow = DesignFlow(
+            None,
+            FlowConfig(campaign=CampaignConfig(scenario="grain", trace_count=8)),
+        )
+        with pytest.raises(FlowError, match="unknown scenario"):
+            flow.expressions()
+
+    def test_scenario_config_validates_param_names(self):
+        with pytest.raises(ConfigError, match="non-empty strings"):
+            ScenarioConfig(params={"": 1})

@@ -41,6 +41,28 @@ class TestCrypto:
         for value in range(16):
             assert from_bits(bits_of(value, 4)) == value
 
+    @pytest.mark.parametrize("width", [9, 16, 24, 63, 64, 80])
+    def test_bit_conversions_round_trip_wide(self, width):
+        # Regression: widths beyond 8 (scenario round registers, the
+        # PRESENT-80 key schedule) must round-trip exactly.
+        for value in (0, 1, (1 << width) - 1, (1 << width) // 3, 1 << (width - 1)):
+            bits = bits_of(value, width)
+            assert len(bits) == width
+            assert from_bits(bits) == value
+
+    def test_bits_of_validates_width(self):
+        # Regression: values wider than ``width`` used to truncate
+        # silently; now they are rejected.
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_of(16, 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_of(1 << 12, 12)
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_of(-1, 4)
+        with pytest.raises(ValueError, match="width"):
+            bits_of(0, -1)
+        assert bits_of(0, 0) == []
+
     def test_present_lookup_bounds(self):
         assert present_sbox_lookup(0) == 0xC
         with pytest.raises(ValueError):
