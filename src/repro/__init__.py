@@ -84,6 +84,7 @@ from .flow import (
     FlowError,
     FlowReport,
     FlowResult,
+    LayoutConfig,
     ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
@@ -101,7 +102,7 @@ from .scenarios import (
     register_scenario,
 )
 
-__version__ = "2.3.0"
+__version__ = "2.4.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -135,6 +136,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "LayoutConfig",
     "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",

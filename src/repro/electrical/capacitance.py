@@ -65,21 +65,34 @@ def extract_capacitances(
     dpdn: DifferentialPullDownNetwork,
     technology: Technology,
     include_sense_amplifier: bool = True,
+    wire_overrides: Optional[Mapping[str, float]] = None,
 ) -> CapacitanceExtraction:
     """Extract the node capacitances of ``dpdn`` under ``technology``.
 
     ``include_sense_amplifier`` adds the SABL sense-amplifier junctions to
     X and Y; pass ``False`` when analysing the bare network (for example
     when embedding it in a different logic style).
+
+    ``wire_overrides`` replaces the class-based wiring constant of
+    individual nodes with explicit values [farad] -- the back-annotation
+    hook of :mod:`repro.layout.parasitics`, which substitutes each module
+    output's ``c_wire_output`` with the extracted capacitance of its
+    routed rail.  Overriding a node with exactly ``c_wire_output`` (or
+    ``c_wire_internal``) reproduces the layout-free extraction
+    bit-identically.
     """
     capacitance: Dict[str, float] = {}
     external = set(dpdn.external_nodes)
+    overrides = dict(wire_overrides or {})
+    unknown = sorted(set(overrides) - set(dpdn.nodes()))
+    if unknown:
+        raise ValueError(f"wire overrides for unknown nodes {unknown}")
 
     for node in dpdn.nodes():
         wire = (
             technology.c_wire_output if node in external else technology.c_wire_internal
         )
-        capacitance[node] = wire
+        capacitance[node] = overrides.get(node, wire)
 
     for transistor in dpdn.transistors:
         junction = technology.c_junction * transistor.width

@@ -148,7 +148,24 @@ class CycleEnergyRecord:
 
 
 class EventEnergyModel:
-    """Memoryless per-event discharge/energy model of one gate."""
+    """Memoryless per-event discharge/energy model of one gate.
+
+    ``wire_load`` back-annotates the routed capacitances of the gate's
+    differential output pair as ``(c_true, c_false)`` [farad]: the wiring
+    component of the X and Y module outputs is replaced by the pair's
+    *matched* (lighter-rail) capacitance -- the part of the interconnect
+    both rails share -- and the heavier rail's *imbalance excess* is
+    charged only on the cycles whose output value selects it (see
+    :meth:`swing_excess`).  Splitting the pair this way keeps the
+    style-dependent baseline accounting (which discharges both outputs
+    for SABL but only the conducting one for CVSL) data-independent, so
+    the excess is charged exactly once for every style.  A matched pair
+    has zero excess, so uniform annotation with
+    ``technology.c_wire_output`` reproduces the layout-free model
+    bit-identically; a mismatched pair makes the supply energy depend on
+    the output *value*, which is exactly the routing-induced leakage the
+    paper's fat-wire router eliminates.
+    """
 
     def __init__(
         self,
@@ -157,6 +174,7 @@ class EventEnergyModel:
         style: str = "sabl",
         output_load: Optional[float] = None,
         capacitances: Optional[CapacitanceExtraction] = None,
+        wire_load: Optional[Tuple[float, float]] = None,
     ) -> None:
         if style not in _DISCHARGE_ROOTS:
             raise ValueError(
@@ -168,8 +186,44 @@ class EventEnergyModel:
         self.output_load = (
             output_load if output_load is not None else self.technology.c_output_load
         )
+        if wire_load is not None:
+            c_true, c_false = (float(wire_load[0]), float(wire_load[1]))
+            if c_true < 0.0 or c_false < 0.0:
+                raise ValueError(f"wire load capacitances must be non-negative, got {wire_load}")
+            wire_load = (c_true, c_false)
+            if dpdn.function is None:
+                raise ValueError(
+                    "wire-load back-annotation needs the DPDN's function "
+                    "annotation (the swinging rail follows the output value)"
+                )
+            if capacitances is not None:
+                raise ValueError(
+                    "pass either capacitances or wire_load, not both: an "
+                    "explicit extraction would silently drop the rail "
+                    "overrides the wire load implies"
+                )
+            matched = min(c_true, c_false)
+            capacitances = extract_capacitances(
+                dpdn,
+                self.technology,
+                wire_overrides={dpdn.x: matched, dpdn.y: matched},
+            )
+        self.wire_load = wire_load
         self.capacitances = capacitances or extract_capacitances(dpdn, self.technology)
         self._roots = _discharge_roots(dpdn, style)
+
+    def swing_excess(self, value: bool) -> float:
+        """Imbalance excess of the rail swinging for output ``value`` [farad].
+
+        Zero without back-annotation and for matched pairs; for a
+        mismatched pair the heavier rail costs its extra capacitance on
+        the cycles whose output value selects it.
+        """
+        if self.wire_load is None:
+            return 0.0
+        c_true, c_false = self.wire_load
+        matched = c_true if c_true <= c_false else c_false
+        return (c_true if value else c_false) - matched
 
     # -- discharge sets ---------------------------------------------------------
 
@@ -192,12 +246,16 @@ class EventEnergyModel:
 
         ``include_output_load`` adds the external load of the one gate
         output that swings (both gate styles discharge exactly one of the
-        two precharged outputs per evaluation).
+        two precharged outputs per evaluation).  With back-annotated
+        ``wire_load`` rails, the swinging rail's imbalance excess is
+        charged as part of that external swing.
         """
         nodes = self.discharged_nodes(assignment)
         total = self.capacitances.total(nodes)
         if include_output_load:
             total += self.output_load
+            if self.wire_load is not None:
+                total += self.swing_excess(bool(self.dpdn.function.evaluate(assignment)))
         return total
 
     def event_energy(self, assignment: Mapping[str, bool]) -> float:
@@ -247,8 +305,11 @@ class CycleEnergySimulator:
         technology: Optional[Technology] = None,
         style: str = "sabl",
         output_load: Optional[float] = None,
+        wire_load: Optional[Tuple[float, float]] = None,
     ) -> None:
-        self.model = EventEnergyModel(dpdn, technology, style, output_load)
+        self.model = EventEnergyModel(
+            dpdn, technology, style, output_load, wire_load=wire_load
+        )
         self.dpdn = dpdn
         self.technology = self.model.technology
         self._charged: Dict[str, bool] = {}
@@ -294,7 +355,13 @@ class CycleEnergySimulator:
         ]
         baseline = capacitances.total(baseline_nodes) + self.model.output_load
 
-        energy = self.technology.switching_energy(baseline + recharged_capacitance)
+        total_capacitance = baseline + recharged_capacitance
+        if self.model.wire_load is not None:
+            # The routed rail selected by the output value swings; a
+            # mismatched pair charges the heavier rail's excess here.
+            value = bool(self.dpdn.function.evaluate(assignment))
+            total_capacitance += self.model.swing_excess(value)
+        energy = self.technology.switching_energy(total_capacitance)
 
         # Evaluation: everything connected discharges; floating nodes keep state.
         for node in self.dpdn.internal_nodes():

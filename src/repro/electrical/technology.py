@@ -34,10 +34,17 @@ class Technology:
         c_gate: gate capacitance of a unit-width device [F].
         c_junction: drain/source junction capacitance per terminal [F].
         c_wire_internal: wiring capacitance of an internal DPDN node [F].
-        c_wire_output: wiring capacitance of a gate output net [F].
+        c_wire_output: wiring capacitance of a gate output net [F]
+            (the layout-free default; :mod:`repro.layout` back-annotates
+            routed per-net values in its place).
         c_output_load: default external load on each gate output [F]
             (the matched interconnect + fan-in capacitance the paper
             assumes for the differential outputs).
+        c_wire_per_um: wire capacitance per micron of routed track [F/um]
+            (the length-based extraction constant of
+            :mod:`repro.layout.parasitics`).
+        route_pitch_um: physical pitch of the layout routing grid [um]
+            (one routed grid edge is this long).
         clock_period: precharge + evaluation period [s].
         input_arrival_fraction: point within the precharge phase at which
             the (complementary) inputs of the next evaluation arrive,
@@ -58,6 +65,8 @@ class Technology:
     c_wire_internal: float = 0.3e-15
     c_wire_output: float = 0.8e-15
     c_output_load: float = 4.0e-15
+    c_wire_per_um: float = 0.20e-15
+    route_pitch_um: float = 2.0
     clock_period: float = 4.0e-9
     input_arrival_fraction: float = 0.6
     time_step: float = 2.0e-12
@@ -91,6 +100,8 @@ class Technology:
             "c_junction": f"{self.c_junction * 1e15:.2f} fF",
             "c_wire (int/out)": f"{self.c_wire_internal * 1e15:.2f} fF / {self.c_wire_output * 1e15:.2f} fF",
             "c_output_load": f"{self.c_output_load * 1e15:.2f} fF",
+            "c_wire_per_um": f"{self.c_wire_per_um * 1e15:.3f} fF/um",
+            "route_pitch": f"{self.route_pitch_um:.2f} um",
             "clock_period": f"{self.clock_period * 1e9:.2f} ns",
             "time_step": f"{self.time_step * 1e12:.1f} ps",
         }
@@ -117,6 +128,8 @@ def generic_130nm() -> Technology:
         c_wire_internal=0.25e-15,
         c_wire_output=0.6e-15,
         c_output_load=3.0e-15,
+        c_wire_per_um=0.18e-15,
+        route_pitch_um=1.4,
         clock_period=2.5e-9,
         time_step=1.5e-12,
     )
@@ -136,6 +149,8 @@ def generic_65nm() -> Technology:
         c_wire_internal=0.2e-15,
         c_wire_output=0.45e-15,
         c_output_load=2.0e-15,
+        c_wire_per_um=0.15e-15,
+        route_pitch_um=0.7,
         clock_period=1.5e-9,
         time_step=1.0e-12,
     )

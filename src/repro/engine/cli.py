@@ -57,11 +57,13 @@ def _base_config(args: argparse.Namespace) -> FlowConfig:
             config = FlowConfig.from_dict(json.load(handle))
     else:
         config = FlowConfig(name=args.name)
-    # --scenario is plain shorthand for --set scenario=NAME: apply it
-    # through the same override path, before the --set loop so an
-    # explicit --set still wins.
+    # --scenario / --router are plain shorthand for --set scenario=NAME /
+    # --set layout.router=NAME: apply them through the same override
+    # path, before the --set loop so an explicit --set still wins.
     if getattr(args, "scenario", None):
         config = _apply_override(config, "scenario", args.scenario)
+    if getattr(args, "router", None):
+        config = _apply_override(config, "layout.router", args.router)
     for assignment in args.set or []:
         path, raw = _parse_assignment(assignment, "--set")
         config = _apply_override(config, path, _parse_value(raw))
@@ -120,6 +122,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--scenario-param rounds=3 (repeatable)",
     )
     parser.add_argument(
+        "--router",
+        metavar="NAME",
+        help="registered differential routing mode for the back-end "
+        "layout stage (fat, diffpair, unbalanced, ...); shorthand for "
+        "--set layout.router=NAME",
+    )
+    parser.add_argument(
         "--workers", type=int, metavar="N", help="worker processes (default 1)"
     )
     parser.add_argument(
@@ -175,6 +184,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     flow = DesignFlow(None, config)
     report = flow.run()
     print(report.format_summary())
+    if "layout" in report and report["layout"].value is not None:
+        print()
+        print(report.format_layout())
     if "assessment" in report:
         print()
         print(report.format_assessment())

@@ -225,6 +225,16 @@ def _common_store_record(flow: DesignFlow) -> Dict[str, Any]:
         # collide on a store key.
         "scenario": config.scenario.to_dict(),
         "expressions": _expressions_record(flow),
+        # The back end changes the measured energies: the full layout
+        # config (router, placement seed, grid, annealing budget) is part
+        # of the content whenever a circuit campaign is routed.  Model
+        # campaigns and layout-free flows hash ``None`` so every
+        # pre-layout key stays in one equivalence class.
+        "layout": (
+            config.layout.to_dict()
+            if config.layout.routed and config.campaign.source != "model"
+            else None
+        ),
         "sharding": (
             config.execution.effective_shard_size
             if config.execution.active

@@ -23,6 +23,7 @@ from .config import (
     ConfigError,
     ExecutionConfig,
     FlowConfig,
+    LayoutConfig,
     ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
@@ -58,6 +59,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "LayoutConfig",
     "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",

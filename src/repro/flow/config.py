@@ -28,6 +28,7 @@ __all__ = [
     "SynthesisConfig",
     "TechnologyConfig",
     "CellConfig",
+    "LayoutConfig",
     "ScenarioConfig",
     "CampaignConfig",
     "AnalysisConfig",
@@ -193,6 +194,57 @@ class CellConfig(_ConfigBase):
     @property
     def decomposition_style(self) -> DecompositionStyle:
         return _decomposition_style(self.decomposition)
+
+
+@dataclass(frozen=True)
+class LayoutConfig(_ConfigBase):
+    """The back-end place & route stage (:mod:`repro.layout`).
+
+    Attributes:
+        router: registered differential routing mode
+            (:func:`repro.layout.register_router`; ``"fat"``,
+            ``"diffpair"`` and ``"unbalanced"`` ship built in).  ``None``
+            keeps the flow layout-free: no layout stage runs and every
+            gate keeps the technology's ``c_wire_output`` constant --
+            byte-identical to the pre-layout pipeline.  Sweepable as the
+            ``layout.router`` axis (``repro sweep --axis
+            layout.router=fat,unbalanced``).
+        seed: placement seed (greedy tie-breaks are deterministic; the
+            annealer draws from ``default_rng(seed)``).
+        grid: explicit ``(rows, columns)`` placement grid; ``None``
+            auto-sizes a square grid from the gate count.
+        anneal_moves: simulated-annealing refinement proposals after the
+            greedy constructive pass (0 keeps the greedy placement).
+    """
+
+    router: Optional[str] = None
+    seed: int = 2005
+    grid: Optional[Tuple[int, int]] = None
+    anneal_moves: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.router is not None and not self.router:
+            raise ConfigError("router must be a non-empty name or None")
+        if self.grid is not None:
+            try:
+                grid = tuple(int(value) for value in _as_tuple(self.grid))
+            except (ConfigError, TypeError, ValueError):
+                grid = ()
+            if len(grid) != 2 or grid[0] < 1 or grid[1] < 1:
+                raise ConfigError(
+                    f"grid must be a (rows, columns) pair of positive "
+                    f"integers or None, got {self.grid!r}"
+                )
+            object.__setattr__(self, "grid", grid)
+        if self.anneal_moves < 0:
+            raise ConfigError(
+                f"anneal_moves must be non-negative, got {self.anneal_moves}"
+            )
+
+    @property
+    def routed(self) -> bool:
+        """True when the flow places and routes its circuit."""
+        return self.router is not None
 
 
 @dataclass(frozen=True)
@@ -530,6 +582,7 @@ class FlowConfig(_ConfigBase):
     synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
     technology: TechnologyConfig = field(default_factory=TechnologyConfig)
     cells: CellConfig = field(default_factory=CellConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
@@ -546,6 +599,7 @@ _NESTED_CONFIG_FIELDS = {
     ("FlowConfig", "synthesis"): SynthesisConfig,
     ("FlowConfig", "technology"): TechnologyConfig,
     ("FlowConfig", "cells"): CellConfig,
+    ("FlowConfig", "layout"): LayoutConfig,
     ("FlowConfig", "scenario"): ScenarioConfig,
     ("FlowConfig", "campaign"): CampaignConfig,
     ("FlowConfig", "analysis"): AnalysisConfig,

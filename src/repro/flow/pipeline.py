@@ -65,22 +65,26 @@ STAGES = (
     "verification",
     "library",
     "circuit",
+    "layout",
     "traces",
     "analysis",
     "assessment",
 )
 
 #: Direct dependencies of each stage (used for lazy evaluation and
-#: downstream invalidation).
+#: downstream invalidation).  ``traces`` and ``assessment`` hang off
+#: ``layout`` (which is a cheap no-op for layout-free configs) so a
+#: router change invalidates every measured result.
 _DEPENDENCIES: Dict[str, Tuple[str, ...]] = {
     "expressions": (),
     "synthesis": ("expressions",),
     "verification": ("synthesis",),
     "library": (),
     "circuit": ("expressions",),
-    "traces": ("circuit",),
+    "layout": ("circuit",),
+    "traces": ("layout",),
     "analysis": ("traces",),
-    "assessment": ("circuit",),
+    "assessment": ("layout",),
 }
 
 
@@ -214,6 +218,12 @@ class DesignFlow:
         """The mapped differential circuit of the campaign."""
         return self.result("circuit").value
 
+    def layout(self):
+        """The placed-and-routed :class:`repro.layout.CircuitLayout` of the
+        campaign's circuit, or ``None`` for layout-free configs
+        (``LayoutConfig.router`` unset)."""
+        return self.result("layout").value
+
     def traces(self) -> TraceSet:
         """The acquired trace campaign."""
         return self.result("traces").value
@@ -250,6 +260,7 @@ class DesignFlow:
                     for stage in STAGES
                     if (stage != "analysis" or self.is_sbox_workload)
                     and (stage != "library" or self.config.cells.names)
+                    and (stage != "layout" or self.config.layout.routed)
                     and stage != "assessment"
                 ]
             if self.config.assessment.enabled:
@@ -489,6 +500,53 @@ class DesignFlow:
         gate_style = self._resolve(get_gate_style, self.config.campaign.gate_style)
         return technology, gate_style
 
+    def _compute_layout(self) -> Tuple[Any, Dict[str, Any]]:
+        """Place & route the mapped circuit (no-op for layout-free configs)."""
+        config = self.config.layout
+        if not config.routed:
+            return None, {"routed": False}
+        from ..layout import LayoutError, layout_circuit
+
+        technology, _ = self._circuit_campaign_params()
+        try:
+            layout = layout_circuit(
+                self.circuit(),
+                technology,
+                router=config.router,
+                grid=config.grid,
+                seed=config.seed,
+                anneal_moves=config.anneal_moves,
+            )
+        except UnknownBackendError as error:
+            raise FlowError(str(error)) from error
+        except LayoutError as error:
+            raise FlowError(f"layout failed: {error}") from error
+        parasitics = layout.parasitics
+        rows, cols = layout.placement.grid
+        worst = parasitics.worst_pair()
+        details: Dict[str, Any] = {
+            "router": config.router,
+            "grid": f"{rows}x{cols}",
+            "hpwl": round(layout.placement.hpwl, 1),
+            "wirelength_um": round(parasitics.total_wirelength_um(), 1),
+            "max_mismatch_fF": round(parasitics.max_mismatch() * 1e15, 4),
+        }
+        if worst is not None:
+            details["worst_pair"] = worst[0]
+        return layout, details
+
+    def _net_loads(self):
+        """The routed rail loads of a circuit campaign, or ``None``.
+
+        This is the back-annotation hand-off: when a router is
+        configured, the (cached) layout stage's extracted per-net rail
+        capacitances replace the technology's ``c_wire_output`` constant
+        inside the energy simulators.
+        """
+        if not self.config.layout.routed or self.config.campaign.source == "model":
+            return None
+        return self.result("layout").value.parasitics.rail_loads()
+
     def _acquire_campaign(self, trace_count: int, seed) -> TraceSet:
         """Acquire ``trace_count`` traces with the given random source.
 
@@ -519,6 +577,7 @@ class DesignFlow:
             seed=seed,
             warmup_cycles=campaign.warmup_cycles,
             batch_size=campaign.batch_size,
+            net_loads=self._net_loads(),
         )
 
     def _acquire_trace_shard(self, shard) -> Tuple[np.ndarray, np.ndarray]:
@@ -542,6 +601,8 @@ class DesignFlow:
             technology, gate_style = self._circuit_campaign_params()
             details["gate_style"] = gate_style.name
             details["technology"] = technology.name
+            if self.config.layout.routed:
+                details["router"] = self.config.layout.router
         details["mean_energy_J"] = float(statistics.mean)
         details["nsd"] = float(statistics.nsd)
         return details
@@ -677,7 +738,10 @@ class DesignFlow:
         circuit = self.circuit()
         technology, gate_style = self._circuit_campaign_params()
         model = BatchedCircuitEnergyModel(
-            circuit, technology=technology, gate_style=gate_style.name
+            circuit,
+            technology=technology,
+            gate_style=gate_style.name,
+            net_loads=self._net_loads(),
         )
         width = len(circuit.primary_inputs)
 

@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping
 
+from ..reporting.layout import format_routing_imbalance
 from ..reporting.leakage import format_leakage_assessment
 from ..reporting.results import ExperimentResult
 from ..reporting.tables import format_table
@@ -96,6 +97,11 @@ class FlowReport:
             "config": self.config.to_dict(),
             "stages": [result.to_dict() for result in self],
         }
+        layout = self._results.get("layout")
+        if layout is not None and layout.value is not None:
+            # The full per-pair imbalance evidence (rail capacitances,
+            # |dC|, worst pair), not just the stage summary.
+            record["layout"] = layout.value.parasitics.to_dict()
         if "assessment" in self._results:
             record["assessment"] = {
                 name: outcome.to_dict()
@@ -117,6 +123,24 @@ class FlowReport:
             ["stage", "time [ms]", "details"],
             rows,
             title=f"DesignFlow {self.name!r}",
+        )
+
+    def format_layout(self, limit: int = 12) -> str:
+        """Per-pair routing imbalance table (via :mod:`repro.reporting`).
+
+        Raises :class:`KeyError` when the run did not include the layout
+        stage and :class:`ValueError` when the flow is layout-free.
+        """
+        layout = self["layout"].value
+        if layout is None:
+            raise ValueError(
+                f"flow {self.name!r} is layout-free (no router configured)"
+            )
+        return format_routing_imbalance(
+            layout.parasitics,
+            title=f"Routing imbalance of flow {self.name!r} "
+            f"({layout.routing.router})",
+            limit=limit,
         )
 
     def format_assessment(self) -> str:

@@ -1,0 +1,157 @@
+"""Length-based parasitic extraction and back-annotation tables.
+
+The router reports rail lengths in grid edges; this module turns them
+into farads with two :class:`~repro.electrical.technology.Technology`
+constants -- ``route_pitch_um`` (microns per grid edge) and
+``c_wire_per_um`` (wire capacitance per micron) -- producing a
+:class:`NetParasitics` table: per differential pair, the true/false rail
+capacitances, their mismatch |dC|, and the rail lengths.
+
+:meth:`NetParasitics.rail_loads` is the back-annotation payload the
+energy models consume (``{output_net: (c_true, c_false)}``): each gate's
+``c_wire_output`` constant is replaced by its routed rail capacitances,
+and a mismatched pair charges the swinging rail's excess -- see
+:class:`repro.electrical.energy.EventEnergyModel`.  Pad-driven primary
+input nets are extracted too (they appear in reports) but never enter
+the energy accounting: their drivers live off-chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..electrical.technology import Technology
+from .route import RoutingResult
+
+__all__ = ["NetParasitics", "extract_net_parasitics"]
+
+
+@dataclass(frozen=True)
+class NetParasitics:
+    """Per-pair routed wire capacitances of one circuit [farads]."""
+
+    router: str
+    technology: str
+    #: net -> (c_true, c_false) routed rail capacitances [F].
+    pair_capacitance: Mapping[str, Tuple[float, float]]
+    #: net -> (true, false) rail lengths [um].
+    pair_length_um: Mapping[str, Tuple[float, float]]
+    #: nets whose loads back-annotate a gate output (pad-driven primary
+    #: input nets are excluded -- their drivers live off-chip).
+    annotatable: Tuple[str, ...]
+
+    def mismatch(self, net: str) -> float:
+        """Absolute rail capacitance mismatch |dC| of one pair [F]."""
+        c_true, c_false = self.pair_capacitance[net]
+        return abs(c_true - c_false)
+
+    def max_mismatch(self) -> float:
+        """Largest pair mismatch [F] (0.0 for an empty table)."""
+        return max((self.mismatch(net) for net in self.pair_capacitance), default=0.0)
+
+    def worst_pair(self) -> Optional[Tuple[str, float]]:
+        """``(net, |dC|)`` of the worst-matched pair, ``None`` when empty."""
+        if not self.pair_capacitance:
+            return None
+        net = max(sorted(self.pair_capacitance), key=self.mismatch)
+        return net, self.mismatch(net)
+
+    def total_wirelength_um(self) -> float:
+        """Total routed track length over both rails of every pair [um]."""
+        return sum(
+            true + false for true, false in self.pair_length_um.values()
+        )
+
+    def rail_loads(self) -> Dict[str, Tuple[float, float]]:
+        """The back-annotation payload for the energy models.
+
+        Only gate-output nets are included (see class docstring); pass
+        the result as ``net_loads`` to the circuit simulators or
+        :func:`repro.power.trace.acquire_circuit_traces`.
+        """
+        return {net: self.pair_capacitance[net] for net in self.annotatable}
+
+    def summary_rows(self, limit: Optional[int] = None) -> List[List[str]]:
+        """Table rows (net, lengths, capacitances, mismatch), worst first."""
+        nets = sorted(
+            self.pair_capacitance, key=lambda net: (-self.mismatch(net), net)
+        )
+        if limit is not None:
+            nets = nets[:limit]
+        rows = []
+        for net in nets:
+            c_true, c_false = self.pair_capacitance[net]
+            l_true, l_false = self.pair_length_um[net]
+            rows.append(
+                [
+                    net,
+                    f"{l_true:.1f}/{l_false:.1f}",
+                    f"{c_true * 1e15:.2f}",
+                    f"{c_false * 1e15:.2f}",
+                    f"{self.mismatch(net) * 1e18:.1f}",
+                ]
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly record (reports, store metadata)."""
+        worst = self.worst_pair()
+        return {
+            "router": self.router,
+            "technology": self.technology,
+            "pairs": len(self.pair_capacitance),
+            "total_wirelength_um": round(self.total_wirelength_um(), 3),
+            "max_mismatch_fF": round(self.max_mismatch() * 1e15, 6),
+            "worst_pair": (
+                {"net": worst[0], "mismatch_fF": round(worst[1] * 1e15, 6)}
+                if worst is not None
+                else None
+            ),
+            "nets": {
+                net: {
+                    "c_true_fF": round(self.pair_capacitance[net][0] * 1e15, 6),
+                    "c_false_fF": round(self.pair_capacitance[net][1] * 1e15, 6),
+                    "length_true_um": round(self.pair_length_um[net][0], 3),
+                    "length_false_um": round(self.pair_length_um[net][1], 3),
+                }
+                for net in sorted(self.pair_capacitance)
+            },
+        }
+
+
+def extract_net_parasitics(
+    routing: RoutingResult,
+    technology: Technology,
+    annotatable: Optional[Tuple[str, ...]] = None,
+) -> NetParasitics:
+    """Length-based extraction of ``routing`` under ``technology``.
+
+    ``annotatable`` restricts which nets back-annotate gate outputs
+    (default: every routed net -- the flow passes the circuit's
+    gate-output nets so pad-driven inputs stay report-only).
+    """
+    capacitance: Dict[str, Tuple[float, float]] = {}
+    lengths: Dict[str, Tuple[float, float]] = {}
+    for net, routed in routing.nets.items():
+        true_um = routed.true_length * technology.route_pitch_um
+        false_um = routed.false_length * technology.route_pitch_um
+        lengths[net] = (true_um, false_um)
+        capacitance[net] = (
+            true_um * technology.c_wire_per_um,
+            false_um * technology.c_wire_per_um,
+        )
+    if annotatable is None:
+        annotatable = tuple(capacitance)
+    else:
+        unknown = sorted(set(annotatable) - set(capacitance))
+        if unknown:
+            raise ValueError(f"annotatable nets {unknown} were never routed")
+        annotatable = tuple(annotatable)
+    return NetParasitics(
+        router=routing.router,
+        technology=technology.name,
+        pair_capacitance=capacitance,
+        pair_length_um=lengths,
+        annotatable=annotatable,
+    )

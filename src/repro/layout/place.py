@@ -1,0 +1,307 @@
+"""Deterministic grid placement of differential circuits.
+
+The back end starts by assigning every gate of a
+:class:`~repro.sabl.circuit.DifferentialCircuit` to a site on a small
+rows x columns placement grid.  Primary inputs enter through *pads*
+evenly spaced along the west edge, circuit outputs leave through pads on
+the east edge, so every net -- including the attacked S-box outputs --
+has real geometry to route over.
+
+Placement is the classic two-step recipe:
+
+1. **greedy constructive** -- gates are placed in topological (netlist)
+   order, each at the free site nearest to the centroid of its already
+   placed fan-in, which gives a sane initial wirelength;
+2. **simulated-annealing refinement** -- seeded random move/swap
+   proposals accepted by half-perimeter-wirelength (HPWL) delta under a
+   geometric temperature schedule.
+
+Both steps are fully deterministic for a fixed seed (the annealer draws
+from ``numpy.random.default_rng(seed)``), which is what lets layout
+configs participate in content-addressed store keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..sabl.circuit import DifferentialCircuit
+
+__all__ = [
+    "LayoutError",
+    "NetTerminals",
+    "Placement",
+    "net_terminals",
+    "place_circuit",
+    "terminal_pin_sites",
+]
+
+#: Site coordinates: ``(row, column)`` on the placement grid.
+Site = Tuple[int, int]
+
+#: Target site occupancy of the automatic grid (gates per site).
+_TARGET_UTILIZATION = 0.65
+
+#: Annealing schedule: start/end temperatures in units of HPWL sites.
+_ANNEAL_T_START = 3.0
+_ANNEAL_T_END = 0.05
+
+
+class LayoutError(ValueError):
+    """A placement or routing step failed (bad grid, unroutable pin, ...)."""
+
+
+@dataclass(frozen=True)
+class NetTerminals:
+    """Structural pins of one circuit net.
+
+    ``driver`` is the driving gate's name, or the primary-input name for
+    pad-driven nets (``is_input``); ``sinks`` are the gates consuming the
+    net; ``output_names`` are the circuit outputs exposed on the net
+    (each gets an east-edge pad).
+    """
+
+    net: str
+    driver: str
+    is_input: bool
+    sinks: Tuple[str, ...]
+    output_names: Tuple[str, ...]
+
+
+def net_terminals(circuit: DifferentialCircuit) -> Dict[str, NetTerminals]:
+    """Per-net pin structure of ``circuit``, in net creation order."""
+    sinks: Dict[str, List[str]] = {net: [] for net in circuit.nets()}
+    for gate in circuit.gates:
+        for connection in gate.connections.values():
+            if gate.name not in sinks[connection.net]:
+                sinks[connection.net].append(gate.name)
+    outputs: Dict[str, List[str]] = {net: [] for net in circuit.nets()}
+    for name, net in circuit.outputs.items():
+        outputs[net].append(name)
+    drivers: Dict[str, Tuple[str, bool]] = {
+        net: (net, True) for net in circuit.primary_inputs
+    }
+    for gate in circuit.gates:
+        drivers[gate.output_net] = (gate.name, False)
+    return {
+        net: NetTerminals(
+            net=net,
+            driver=drivers[net][0],
+            is_input=drivers[net][1],
+            sinks=tuple(sinks[net]),
+            output_names=tuple(outputs[net]),
+        )
+        for net in circuit.nets()
+    }
+
+
+def terminal_pin_sites(
+    terminal: NetTerminals,
+    gates: Mapping[str, Site],
+    input_pads: Mapping[str, Site],
+    output_pads: Mapping[str, Site],
+) -> List[Site]:
+    """Pin sites of one net: driver (gate or pad), sinks, output pads.
+
+    The single geometry rule shared by HPWL accounting (constructive and
+    annealing) and the router -- the three must always agree on where a
+    net's pins are.
+    """
+    sites = [
+        input_pads[terminal.driver] if terminal.is_input else gates[terminal.driver]
+    ]
+    sites.extend(gates[sink] for sink in terminal.sinks)
+    sites.extend(output_pads[name] for name in terminal.output_names)
+    return sites
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A legal placement of one circuit on a sites grid."""
+
+    grid: Tuple[int, int]
+    gates: Mapping[str, Site]
+    input_pads: Mapping[str, Site]
+    output_pads: Mapping[str, Site]
+    hpwl: float
+    initial_hpwl: float
+    seed: int
+
+    def location(self, terminal: str, is_input_pad: bool = False) -> Site:
+        """Site of a gate (or, with ``is_input_pad``, an input pad)."""
+        if is_input_pad:
+            return self.input_pads[terminal]
+        return self.gates[terminal]
+
+    def pin_sites(self, terminal: NetTerminals) -> List[Site]:
+        """Pin sites of one net's terminals under this placement."""
+        return terminal_pin_sites(
+            terminal, self.gates, self.input_pads, self.output_pads
+        )
+
+    def describe(self) -> str:
+        rows, cols = self.grid
+        return (
+            f"Placement: {len(self.gates)} gates on {rows}x{cols} sites, "
+            f"HPWL {self.hpwl:.0f} (greedy {self.initial_hpwl:.0f}), "
+            f"seed {self.seed}"
+        )
+
+
+def _edge_pads(names: Sequence[str], rows: int, column: int) -> Dict[str, Site]:
+    """Pads for ``names`` evenly spaced along one grid column."""
+    count = len(names)
+    if count == 0:
+        return {}
+    return {
+        name: (min(rows - 1, (index * rows + rows // 2) // count), column)
+        for index, name in enumerate(names)
+    }
+
+
+def _net_pins(
+    terminals: Mapping[str, NetTerminals],
+    gates: Mapping[str, Site],
+    input_pads: Mapping[str, Site],
+    output_pads: Mapping[str, Site],
+) -> Dict[str, List[Site]]:
+    """Pin sites of every net under one gate assignment."""
+    return {
+        net: terminal_pin_sites(terminal, gates, input_pads, output_pads)
+        for net, terminal in terminals.items()
+    }
+
+
+def _hpwl(pins: Sequence[Site]) -> float:
+    rows = [site[0] for site in pins]
+    cols = [site[1] for site in pins]
+    return float(max(rows) - min(rows) + max(cols) - min(cols))
+
+
+def place_circuit(
+    circuit: DifferentialCircuit,
+    grid: Optional[Tuple[int, int]] = None,
+    seed: int = 2005,
+    anneal_moves: int = 1500,
+) -> Placement:
+    """Place ``circuit`` on a grid of sites (greedy + annealing refinement).
+
+    ``grid`` fixes the ``(rows, columns)`` site array (it must hold every
+    gate); ``None`` picks a square grid targeting ~65 % utilization.
+    ``anneal_moves`` move/swap proposals refine the greedy placement
+    (``0`` keeps the constructive result).  Deterministic for a fixed
+    ``seed``.
+    """
+    gate_names = [gate.name for gate in circuit.gates]
+    if not gate_names:
+        raise LayoutError("cannot place a circuit without gates")
+    if grid is None:
+        side = max(2, math.ceil(math.sqrt(len(gate_names) / _TARGET_UTILIZATION)))
+        grid = (side, side)
+    rows, cols = int(grid[0]), int(grid[1])
+    if rows < 1 or cols < 1:
+        raise LayoutError(f"grid must have positive dimensions, got {grid}")
+    if rows * cols < len(gate_names):
+        raise LayoutError(
+            f"grid {rows}x{cols} has {rows * cols} sites for "
+            f"{len(gate_names)} gates"
+        )
+
+    terminals = net_terminals(circuit)
+    input_pads = _edge_pads(circuit.primary_inputs, rows, column=0)
+    output_pads = _edge_pads(sorted(circuit.outputs), rows, column=cols - 1)
+
+    # -- greedy constructive pass ------------------------------------------
+    gates: Dict[str, Site] = {}
+    free: Set[Site] = {(r, c) for r in range(rows) for c in range(cols)}
+    for gate in circuit.gates:
+        anchors: List[Site] = []
+        for connection in gate.connections.values():
+            terminal = terminals[connection.net]
+            if terminal.is_input:
+                anchors.append(input_pads[terminal.driver])
+            elif terminal.driver in gates:
+                anchors.append(gates[terminal.driver])
+        if anchors:
+            target = (
+                sum(site[0] for site in anchors) / len(anchors),
+                sum(site[1] for site in anchors) / len(anchors),
+            )
+        else:
+            target = ((rows - 1) / 2.0, (cols - 1) / 2.0)
+        site = min(
+            free,
+            key=lambda s: (abs(s[0] - target[0]) + abs(s[1] - target[1]), s),
+        )
+        gates[gate.name] = site
+        free.remove(site)
+
+    pins = _net_pins(terminals, gates, input_pads, output_pads)
+    net_cost = {net: _hpwl(sites) for net, sites in pins.items()}
+    initial_hpwl = sum(net_cost.values())
+
+    # -- simulated-annealing refinement ------------------------------------
+    gate_nets: Dict[str, List[str]] = {name: [] for name in gate_names}
+    for net, terminal in terminals.items():
+        if not terminal.is_input:
+            gate_nets[terminal.driver].append(net)
+        for sink in terminal.sinks:
+            if net not in gate_nets[sink]:
+                gate_nets[sink].append(net)
+
+    site_gate: Dict[Site, str] = {site: name for name, site in gates.items()}
+    rng = np.random.default_rng(seed)
+    total = initial_hpwl
+    if anneal_moves > 0:
+        cooling = (_ANNEAL_T_END / _ANNEAL_T_START) ** (1.0 / anneal_moves)
+        temperature = _ANNEAL_T_START
+        for _ in range(anneal_moves):
+            name = gate_names[int(rng.integers(0, len(gate_names)))]
+            target = (int(rng.integers(0, rows)), int(rng.integers(0, cols)))
+            source = gates[name]
+            if target == source:
+                temperature *= cooling
+                continue
+            partner = site_gate.get(target)
+            moved = [name] if partner is None else [name, partner]
+            touched = sorted({net for moved_name in moved for net in gate_nets[moved_name]})
+            before = sum(net_cost[net] for net in touched)
+            gates[name] = target
+            if partner is not None:
+                gates[partner] = source
+            after = 0.0
+            proposed_cost: Dict[str, float] = {}
+            for net in touched:
+                proposed_cost[net] = _hpwl(
+                    terminal_pin_sites(terminals[net], gates, input_pads, output_pads)
+                )
+                after += proposed_cost[net]
+            delta = after - before
+            if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+                # accept: update caches
+                site_gate.pop(source, None)
+                site_gate[target] = name
+                if partner is not None:
+                    site_gate[source] = partner
+                net_cost.update(proposed_cost)
+            else:
+                # reject: restore
+                gates[name] = source
+                if partner is not None:
+                    gates[partner] = target
+            temperature *= cooling
+        total = sum(net_cost.values())
+
+    return Placement(
+        grid=(rows, cols),
+        gates=dict(gates),
+        input_pads=dict(input_pads),
+        output_pads=dict(output_pads),
+        hpwl=float(total),
+        initial_hpwl=float(initial_hpwl),
+        seed=seed,
+    )

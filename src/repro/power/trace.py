@@ -17,7 +17,7 @@ measurements.  Two acquisition back-ends exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -116,6 +116,7 @@ def acquire_circuit_traces(
     warmup_cycles: int = 4,
     batch_size: Optional[int] = 1024,
     noise_model: Optional[NoiseModelFn] = None,
+    net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
 ) -> TraceSet:
     """Record one power sample per cycle from the gate-level charge model.
 
@@ -145,6 +146,11 @@ def acquire_circuit_traces(
     The plaintext space follows the circuit's primary inputs: plaintext
     bit ``i`` (little-endian) drives ``circuit.primary_inputs[i]``, so
     circuits wider than the 4-bit S-box are supported transparently.
+
+    ``net_loads`` back-annotates routed per-net rail capacitances
+    (``{output_net: (c_true, c_false)}``, see
+    :meth:`repro.layout.NetParasitics.rail_loads`) into whichever
+    back-end runs; ``None`` keeps the layout-free streams byte-identical.
     """
     inputs = list(circuit.primary_inputs)
     width = len(inputs)
@@ -153,14 +159,14 @@ def acquire_circuit_traces(
     warmup = rng.integers(0, 1 << width, size=warmup_cycles)
     if batch_size is not None:
         model = BatchedCircuitEnergyModel(
-            circuit, technology=technology, gate_style=gate_style
+            circuit, technology=technology, gate_style=gate_style, net_loads=net_loads
         )
         if warmup_cycles:
             model.energies(nibble_matrix(warmup, width), batch_size=batch_size)
         energies = model.energies(nibble_matrix(plaintexts, width), batch_size=batch_size)
     else:
         simulator = CircuitPowerSimulator(
-            circuit, technology=technology, gate_style=gate_style
+            circuit, technology=technology, gate_style=gate_style, net_loads=net_loads
         )
         for plaintext in warmup:
             vector = dict(zip(inputs, bits_of(int(plaintext), width)))

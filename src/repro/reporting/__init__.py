@@ -2,6 +2,7 @@
 
 from .bench import bench_output_path, write_benchmark_json
 from .figures import ascii_plot, ascii_waveform
+from .layout import format_routing_imbalance
 from .leakage import format_leakage_assessment
 from .results import ExperimentResult, format_experiment_results
 from .tables import format_table
@@ -9,6 +10,7 @@ from .tables import format_table
 __all__ = [
     "format_table",
     "format_leakage_assessment",
+    "format_routing_imbalance",
     "ascii_plot",
     "ascii_waveform",
     "ExperimentResult",

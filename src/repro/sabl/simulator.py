@@ -39,7 +39,15 @@ class CyclePowerRecord:
 
 
 class CircuitPowerSimulator:
-    """Stateful per-cycle energy simulation of a :class:`DifferentialCircuit`."""
+    """Stateful per-cycle energy simulation of a :class:`DifferentialCircuit`.
+
+    ``net_loads`` back-annotates routed interconnect: a mapping of gate
+    output *net* name to the ``(c_true, c_false)`` rail capacitances of
+    its differential pair [farad] (see
+    :meth:`repro.layout.NetParasitics.rail_loads`).  Gates whose output
+    net is absent keep the layout-free ``c_wire_output`` constant;
+    ``None`` keeps today's streams byte-identical.
+    """
 
     def __init__(
         self,
@@ -47,13 +55,19 @@ class CircuitPowerSimulator:
         technology: Optional[Technology] = None,
         gate_style: str = "sabl",
         output_load: Optional[float] = None,
+        net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
     ) -> None:
         self.circuit = circuit
         self.technology = technology or generic_180nm()
         self.gate_style = gate_style
+        net_loads = net_loads or {}
         self._simulators: Dict[str, CycleEnergySimulator] = {
             gate.name: CycleEnergySimulator(
-                gate.dpdn, self.technology, style=gate_style, output_load=output_load
+                gate.dpdn,
+                self.technology,
+                style=gate_style,
+                output_load=output_load,
+                wire_load=net_loads.get(gate.output_net),
             )
             for gate in circuit.gates
         }
@@ -119,6 +133,9 @@ class _GateTable:
     internal_caps: np.ndarray  # (n_internal,) capacitance per internal node
     connected: np.ndarray  # (2**k, n_internal) bool
     baseline: np.ndarray  # (2**k,) baseline capacitance per event
+    #: (2**k,) back-annotated swinging-rail imbalance excess per event,
+    #: or ``None`` for the layout-free model (legacy float path).
+    extra: Optional[np.ndarray] = None
 
     def event_index(self, event: Mapping[str, bool]) -> int:
         index = 0
@@ -147,6 +164,11 @@ class BatchedCircuitEnergyModel:
     The model is stateful like the sequential simulator: node charge
     state carries across successive :meth:`energies` calls (and across
     internal batches), so warm-up cycles can be fed first and discarded.
+
+    ``net_loads`` back-annotates routed per-net rail capacitances exactly
+    like :class:`CircuitPowerSimulator` (the two back-ends stay
+    trace-for-trace identical, annotated or not); ``None`` keeps the
+    layout-free streams byte-identical.
     """
 
     def __init__(
@@ -155,14 +177,20 @@ class BatchedCircuitEnergyModel:
         technology: Optional[Technology] = None,
         gate_style: str = "sabl",
         output_load: Optional[float] = None,
+        net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
     ) -> None:
         self.circuit = circuit
         self.technology = technology or generic_180nm()
         self.gate_style = gate_style
+        net_loads = net_loads or {}
         self._tables: List[_GateTable] = []
         for gate in circuit.gates:
             model = EventEnergyModel(
-                gate.dpdn, self.technology, style=gate_style, output_load=output_load
+                gate.dpdn,
+                self.technology,
+                style=gate_style,
+                output_load=output_load,
+                wire_load=net_loads.get(gate.output_net),
             )
             variables = tuple(gate.dpdn.variables())
             internal = gate.dpdn.internal_nodes()
@@ -172,6 +200,11 @@ class BatchedCircuitEnergyModel:
             event_count = 1 << len(variables)
             connected = np.zeros((event_count, len(internal)), dtype=bool)
             baseline = np.empty(event_count, dtype=float)
+            extra = (
+                np.empty(event_count, dtype=float)
+                if model.wire_load is not None
+                else None
+            )
             for index in range(event_count):
                 assignment = {
                     variable: bool((index >> bit) & 1)
@@ -185,6 +218,9 @@ class BatchedCircuitEnergyModel:
                 baseline[index] = (
                     model.capacitances.total(recharged_outputs) + model.output_load
                 )
+                if extra is not None:
+                    value = bool(gate.dpdn.function.evaluate(assignment))
+                    extra[index] = model.swing_excess(value)
             self._tables.append(
                 _GateTable(
                     gate=gate,
@@ -192,6 +228,7 @@ class BatchedCircuitEnergyModel:
                     internal_caps=caps,
                     connected=connected,
                     baseline=baseline,
+                    extra=extra,
                 )
             )
         # Per unique primary-input vector: event index of every gate.
@@ -291,4 +328,7 @@ class BatchedCircuitEnergyModel:
                 first_cycle = connected[:, fresh].argmax(axis=0)
                 np.subtract.at(capacitance, first_cycle, table.internal_caps[fresh])
             self._discharged[position] |= touched
-            out += self.technology.switching_energy(table.baseline[indices] + capacitance)
+            total_capacitance = table.baseline[indices] + capacitance
+            if table.extra is not None:
+                total_capacitance += table.extra[indices]
+            out += self.technology.switching_energy(total_capacitance)

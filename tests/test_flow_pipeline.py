@@ -112,7 +112,7 @@ class TestDesignFlow:
     def test_full_run_covers_all_stages(self, fc_flow):
         assert fc_flow.computed_stages() == (
             "expressions", "synthesis", "verification", "library",
-            "circuit", "traces", "analysis",
+            "circuit", "layout", "traces", "analysis",
         )
 
     def test_stage_results_are_cached(self, fc_flow):
