@@ -16,7 +16,12 @@ scenario (a two-S-box slice, so it finishes in seconds) three ways:
    stays below threshold;
 3. the same campaigns through a **4-worker sharded engine**, printing
    that the parallel traces are bit-identical to serial (PR 3's
-   contract, now exercised by a multi-S-box workload).
+   contract, now exercised by a multi-S-box workload);
+4. the **full 16-S-box (64-bit) round on the compiled bit-sliced
+   kernel** (``simulator="bitslice"``): first pinned trace-for-trace
+   against the event-table reference on a small campaign, then timed on
+   the full budget -- the width that made the reference backend
+   impractical is routine for the compiled kernel.
 
 Run with::
 
@@ -27,9 +32,12 @@ Equivalent CLI commands::
     repro run --scenario present_round --scenario-param sboxes=2 \
         --set trace_count=2000 --set source=model --set model_leakage=bit
     repro sweep --axis scenario=sbox,present_rounds --workers 2
+    repro run --simulator bitslice --scenario present_round \
+        --scenario-param sboxes=16 --set trace_count=20000
 """
 
 import sys
+import time
 
 import numpy as np
 
@@ -151,6 +159,48 @@ def main(trace_count=2000):
         f"sharded engine: serial vs 4 workers over "
         f"{len(serial.traces())} circuit traces -- "
         f"{'bit-identical' if identical else 'MISMATCH'}"
+    )
+    print()
+
+    # -- 4. the full 64-bit round on the compiled bit-sliced kernel -------
+    full_key = 0x0123_4567_89AB_CDEF
+
+    def full_round_flow(simulator, count):
+        return DesignFlow(
+            None,
+            FlowConfig(
+                name=f"present_round_full_{simulator}",
+                campaign=CampaignConfig(
+                    key=full_key,
+                    scenario="present_round",
+                    trace_count=count,
+                    simulator=simulator,
+                ),
+                scenario=ScenarioConfig(params={"sboxes": 16}),
+            ),
+        )
+
+    pinned = {
+        simulator: full_round_flow(simulator, 96).traces()
+        for simulator in ("event", "bitslice")
+    }
+    identical = np.array_equal(
+        pinned["event"].traces, pinned["bitslice"].traces
+    )
+    print(
+        f"full 16-S-box round, event vs bitslice over 96 traces -- "
+        f"{'bit-identical' if identical else 'MISMATCH'}"
+    )
+    budget = max(trace_count, 50_000)
+    flow = full_round_flow("bitslice", budget)
+    flow.circuit()  # keep synthesis out of the acquisition timing
+    start = time.perf_counter()
+    traces = flow.traces()
+    elapsed = time.perf_counter() - start
+    print(
+        f"compiled kernel: {len(traces):,} traces of the 64-bit round in "
+        f"{elapsed * 1e3:.0f} ms including the one-off compile "
+        f"({len(traces) / elapsed:,.0f} traces/s)"
     )
 
 

@@ -101,8 +101,14 @@ from .scenarios import (
     make_scenario,
     register_scenario,
 )
+from .kernel import (
+    CompiledProgram,
+    compile_circuit,
+    get_simulator,
+    register_simulator,
+)
 
-__version__ = "2.4.0"
+__version__ = "2.5.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -152,6 +158,11 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "make_scenario",
+    # kernel (compiled simulator back-ends)
+    "CompiledProgram",
+    "compile_circuit",
+    "register_simulator",
+    "get_simulator",
     # assess (leakage assessment)
     "StreamingMoments",
     "TVLAResult",

@@ -14,7 +14,7 @@ tests pin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -77,14 +77,29 @@ def _shard_counts(total: int, shard_size: int) -> List[int]:
     return [shard_size] * full + ([rest] if rest else [])
 
 
-def plan_shards(total: int, shard_size: int, seed: int) -> Tuple[Shard, ...]:
+def plan_shards(
+    total: int,
+    shard_size: int,
+    seed: int,
+    min_shard_size: Optional[int] = None,
+) -> Tuple[Shard, ...]:
     """Split ``total`` traces into deterministic shards.
 
     Every shard but the last holds exactly ``shard_size`` traces.  The
     plan (and each shard's random stream) is a pure function of the
-    three arguments, so two runs of the same campaign -- at any worker
-    count -- execute identical shards.
+    arguments, so two runs of the same campaign -- at any worker count
+    -- execute identical shards.
+
+    ``min_shard_size`` floors the shard size: vectorized acquisition
+    back-ends amortise per-batch overhead over the traces of a shard,
+    so slicing a narrow campaign into many tiny shards makes the
+    parallel run *slower* than the serial one.  Campaign-level code
+    usually gets this for free from
+    :attr:`repro.flow.config.ExecutionConfig.effective_shard_size`,
+    which applies the same floor.
     """
+    if min_shard_size is not None and shard_size < min_shard_size:
+        shard_size = min_shard_size
     counts = _shard_counts(total, shard_size)
     children = np.random.SeedSequence(seed).spawn(len(counts))
     shards: List[Shard] = []

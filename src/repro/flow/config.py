@@ -313,6 +313,14 @@ class CampaignConfig(_ConfigBase):
             recording, so charge state starts from steady state.
         batch_size: chunk size of the vectorized acquisition back-end;
             ``None`` forces the per-trace Python loop.
+        simulator: registered simulator backend
+            (:func:`repro.kernel.register_simulator`) used by the
+            vectorized circuit campaigns; ``"event"`` (the reference
+            event-table model) and ``"bitslice"`` (the compiled
+            bit-sliced kernel, bit-identical but nearly
+            width-independent) ship built in.  Sweepable as the
+            ``simulator`` axis.  Requires ``batch_size`` (the per-trace
+            Python loop has no pluggable back-end).
     """
 
     key: int = 0xB
@@ -328,6 +336,7 @@ class CampaignConfig(_ConfigBase):
     seed: int = 2005
     warmup_cycles: int = 4
     batch_size: Optional[int] = 1024
+    simulator: str = "event"
 
     def __post_init__(self) -> None:
         if self.key < 0:
@@ -367,6 +376,14 @@ class CampaignConfig(_ConfigBase):
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigError(
                 f"batch_size must be positive or None, got {self.batch_size}"
+            )
+        if not self.simulator:
+            raise ConfigError("simulator must be non-empty")
+        if self.batch_size is None and self.simulator != "event":
+            raise ConfigError(
+                "batch_size=None selects the per-trace Python loop, which "
+                f"has no pluggable back-end; simulator {self.simulator!r} "
+                "needs a batch_size"
             )
 
 
@@ -526,6 +543,12 @@ class ExecutionConfig(_ConfigBase):
             shard plan depends only on the campaign (seed, trace count)
             and this value -- never on ``workers`` -- so results are
             bit-identical at any parallelism.
+        min_shard_size: floor on the effective shard size.  Small
+            campaigns pay process-pool overhead per shard; raising the
+            floor keeps tiny shard counts from regressing below the
+            serial rate.  Like ``shard_size`` it feeds the shard plan
+            (and therefore the random streams), never the worker count.
+            Setting only this field does *not* activate the engine.
         store: root directory of the disk-backed artifact store
             (:class:`repro.engine.ArtifactStore`); ``None`` disables
             caching.
@@ -536,6 +559,7 @@ class ExecutionConfig(_ConfigBase):
     workers: int = 1
     executor: Optional[str] = None
     shard_size: Optional[int] = None
+    min_shard_size: Optional[int] = None
     store: Optional[str] = None
     store_mmap: bool = False
 
@@ -547,6 +571,10 @@ class ExecutionConfig(_ConfigBase):
         if self.shard_size is not None and self.shard_size < 1:
             raise ConfigError(
                 f"shard_size must be positive or None, got {self.shard_size}"
+            )
+        if self.min_shard_size is not None and self.min_shard_size < 1:
+            raise ConfigError(
+                f"min_shard_size must be positive or None, got {self.min_shard_size}"
             )
         if self.store is not None:
             # Accept path-like objects but normalise to str: the config
@@ -563,8 +591,15 @@ class ExecutionConfig(_ConfigBase):
 
     @property
     def effective_shard_size(self) -> int:
-        """The shard size the engine uses when execution is active."""
-        return self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE
+        """The shard size the engine uses when execution is active.
+
+        ``min_shard_size`` floors the configured (or default) size, so
+        the value recorded in store keys always matches the plan.
+        """
+        size = self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE
+        if self.min_shard_size is not None and size < self.min_shard_size:
+            return self.min_shard_size
+        return size
 
     @property
     def resolved_executor(self) -> str:

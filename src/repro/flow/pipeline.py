@@ -45,7 +45,6 @@ from ..power.trace import (
     acquire_table_model_traces,
 )
 from ..sabl.circuit import DifferentialCircuit, map_expressions
-from ..sabl.simulator import BatchedCircuitEnergyModel
 from .config import FlowConfig
 from .registry import (
     UnknownBackendError,
@@ -114,6 +113,7 @@ class DesignFlow:
             raise FlowError("expressions mapping must not be empty")
         self._expression_spec = dict(expressions) if expressions is not None else None
         self._results: Dict[str, FlowResult] = {}
+        self._program: Optional[Any] = None
 
     @classmethod
     def sbox(
@@ -155,6 +155,10 @@ class DesignFlow:
 
     def invalidate(self, stage: Optional[str] = None) -> None:
         """Drop cached results from ``stage`` onwards (all when omitted)."""
+        # The compiled simulator program bakes in the circuit, the
+        # technology and the routed net loads -- cheap to rebuild, so any
+        # invalidation drops it rather than tracking its inputs.
+        self._program = None
         if stage is None:
             self._results.clear()
             return
@@ -547,6 +551,30 @@ class DesignFlow:
             return None
         return self.result("layout").value.parasitics.rail_loads()
 
+    def _compiled_program(self):
+        """The campaign circuit compiled once for the simulator registry.
+
+        Cached on the flow so the serial acquisition path, every engine
+        shard executed inside one worker process and the assessment
+        stream all share a single
+        :class:`~repro.kernel.CompiledProgram` (gate tables plus, for
+        the bit-sliced backend, its lazily built plan).  Dropped by
+        :meth:`invalidate` alongside the stage caches.
+        """
+        from ..kernel import compile_circuit
+
+        circuit = self.circuit()
+        if self._program is not None and self._program.circuit is circuit:
+            return self._program
+        technology, gate_style = self._circuit_campaign_params()
+        self._program = compile_circuit(
+            circuit,
+            technology=technology,
+            gate_style=gate_style.name,
+            net_loads=self._net_loads(),
+        )
+        return self._program
+
     def _acquire_campaign(self, trace_count: int, seed) -> TraceSet:
         """Acquire ``trace_count`` traces with the given random source.
 
@@ -566,6 +594,9 @@ class DesignFlow:
                 seed=seed,
                 description=description,
             )
+        from ..kernel import get_simulator
+
+        self._resolve(get_simulator, campaign.simulator)
         technology, gate_style = self._circuit_campaign_params()
         return acquire_circuit_traces(
             self.circuit(),
@@ -578,6 +609,8 @@ class DesignFlow:
             warmup_cycles=campaign.warmup_cycles,
             batch_size=campaign.batch_size,
             net_loads=self._net_loads(),
+            simulator=campaign.simulator,
+            program=self._compiled_program() if campaign.batch_size is not None else None,
         )
 
     def _acquire_trace_shard(self, shard) -> Tuple[np.ndarray, np.ndarray]:
@@ -601,6 +634,7 @@ class DesignFlow:
             technology, gate_style = self._circuit_campaign_params()
             details["gate_style"] = gate_style.name
             details["technology"] = technology.name
+            details["simulator"] = campaign.simulator
             if self.config.layout.routed:
                 details["router"] = self.config.layout.router
         details["mean_energy_J"] = float(statistics.mean)
@@ -715,8 +749,9 @@ class DesignFlow:
         Returns ``(width, energies)`` where ``width`` is the stimulus bit
         width and ``energies`` maps a vector of stimulus values to their
         measured energies.  ``source="circuit"`` wraps a fresh (stateful)
-        :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel` of the
-        mapped circuit, warmed up with draws from ``warmup_rng``
+        energy model of the mapped circuit from the configured simulator
+        backend (``campaign.simulator`` -- the event-table reference or
+        the bit-sliced kernel), warmed up with draws from ``warmup_rng``
         (defaulting to a generator seeded with the assessment seed; the
         sharded engine passes each shard's own generator);
         ``source="model"`` evaluates the unprotected leakage model
@@ -735,14 +770,11 @@ class DesignFlow:
 
             return scenario.input_width, energies
 
+        from ..kernel import get_simulator
+
         circuit = self.circuit()
-        technology, gate_style = self._circuit_campaign_params()
-        model = BatchedCircuitEnergyModel(
-            circuit,
-            technology=technology,
-            gate_style=gate_style.name,
-            net_loads=self._net_loads(),
-        )
+        factory = self._resolve(get_simulator, campaign.simulator)
+        model = factory(self._compiled_program())
         width = len(circuit.primary_inputs)
 
         if campaign.warmup_cycles:

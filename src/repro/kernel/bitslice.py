@@ -1,0 +1,509 @@
+"""Bit-sliced execution of a compiled differential circuit.
+
+The compiled plan turns a mapped :class:`~repro.sabl.circuit.DifferentialCircuit`
+into straight-line data:
+
+* **logic steps** -- the gate DAG flattened into topological *levels*;
+  within a level, gates with the same operator and fan-in are fused into
+  one :class:`_OpGroup` executed as a single bulk gather/XOR/reduce over
+  the ``(n_nets, n_words)`` uint64 plane array.  Inverted connections
+  are free (an XOR mask), mirroring the differential rails.
+* **event extraction** -- per gate-input position, a gathered XOR plus
+  one ``np.unpackbits`` recovers that input bit for every (gate, trace)
+  pair at once, accumulating the little-endian per-gate event indices
+  the energy tables are keyed by.
+* **stacked energy tables** -- the per-gate ``(2**k,)`` event tables of
+  :func:`repro.sabl.simulator.build_gate_tables` are concatenated into
+  flat arrays addressed as ``offset[gate] + event``, so the
+  memoryless part of a batch's energy is two fancy-index gathers and a
+  prefix-sum.
+
+The *memory effect* (an internal node discharges free the first time it
+is ever connected, and costs a recharge on every later connection) is
+handled by exception: per gate, a uint64 mask tracks which internal
+nodes have discharged; once every reachable node of a gate has
+discharged -- after the first few batches of any realistic campaign --
+the gate's energies come straight from the stacked tables.  Gates that
+still have precharged reachable nodes take the *exact* per-batch
+correction path of :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel`,
+so the two back-ends agree bit for bit on every trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..boolexpr.ast import And, Const, Expr, Not, Or, Var, Xor
+from ..sabl.simulator import GateTable
+from .pack import pack_bitplanes, unpack_bitplanes
+
+__all__ = ["BitslicePlan", "build_bitslice_plan", "BitslicedCircuitEnergyModel"]
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Gate rows folded per chunk in the steady-state energy accumulation;
+#: sized so the gathered chunk stays cache-resident.
+_FOLD_CHUNK = 128
+
+
+def _ordered_column_sum(energies: np.ndarray) -> np.ndarray:
+    """Column sums with the event backend's strict row-by-row add order.
+
+    ``np.add.reduce`` over the leading axis walks rows sequentially --
+    the same left fold as the reference model's per-gate ``out +=`` --
+    for matrices at least two columns wide, but a single-column matrix
+    is contiguous along the reduction axis and NumPy routes it through
+    the pairwise 1-D kernel, whose rounding differs in the last ulp.
+    Single-column input therefore takes a two-column detour that forces
+    the strided (sequential) reduction loop.
+    """
+    if energies.shape[1] == 1:
+        padded = np.zeros((energies.shape[0], 2), dtype=energies.dtype)
+        padded[:, :1] = energies
+        return np.add.reduce(padded, axis=0)[:1]
+    return np.add.reduce(energies, axis=0)
+
+
+@dataclass(frozen=True)
+class _OpGroup:
+    """Gates of one level sharing an operator and a fan-in.
+
+    Executed as ``planes[outputs] = reduce(op, planes[sources] ^ inverted)``
+    -- one NumPy call chain for the whole group.
+    """
+
+    kind: str  # "and" | "or"
+    sources: np.ndarray  # (n_gates, fanin) int source-net indices
+    inverted: np.ndarray  # (n_gates, fanin) uint64 XOR masks (0 or ~0)
+    outputs: np.ndarray  # (n_gates,) int output-net indices
+
+
+@dataclass(frozen=True)
+class _ExprStep:
+    """Fallback for a gate whose function is not a flat AND/OR of variables."""
+
+    expr: Expr
+    var_planes: Tuple[Tuple[str, int, bool], ...]  # (variable, source net, inverted)
+    output: int
+
+
+@dataclass(frozen=True)
+class BitslicePlan:
+    """Straight-line bit-sliced program for one compiled circuit."""
+
+    net_count: int
+    net_index: Mapping[str, int]
+    levels: Tuple[Tuple[object, ...], ...]  # _OpGroup | _ExprStep per level
+    # Event extraction, one entry per gate-input position b:
+    # (gate_rows, source_nets, xor_masks).
+    event_positions: Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...]
+    #: Smallest dtype holding every per-gate event index (uint8 up to
+    #: fan-in 8, int32 beyond).
+    events_dtype: np.dtype
+    # Stacked per-event energy tables.
+    offsets: np.ndarray  # (n_gates,) int32 offsets into the flat tables
+    energy_flat: np.ndarray  # (sum 2**k,) memoryless per-event energy
+    touch_flat: np.ndarray  # (sum 2**k,) uint64 masks of connected internal nodes
+    touchable: np.ndarray  # (n_gates,) uint64 union of a gate's touch masks
+    maskable: np.ndarray  # (n_gates,) bool: internal nodes fit a uint64 mask
+    #: Exact left-fold of the per-gate energies when *every* gate's table
+    #: is event-independent (the paper's protected fc/SABL circuits with
+    #: balanced routing), else ``None``.  In steady state such a circuit
+    #: draws this constant on every cycle, so the whole batch skips logic
+    #: evaluation -- the bit-sliced analogue of "constant power".
+    constant_fold: Optional[np.float64]
+
+    def run_logic(self, planes: np.ndarray) -> None:
+        """Fill the gate-output rows of ``planes`` in place."""
+        for steps in self.levels:
+            for step in steps:
+                if isinstance(step, _OpGroup):
+                    values = planes[step.sources] ^ step.inverted[..., None]
+                    if step.kind == "and":
+                        planes[step.outputs] = np.bitwise_and.reduce(values, axis=1)
+                    else:
+                        planes[step.outputs] = np.bitwise_or.reduce(values, axis=1)
+                else:
+                    variables = {
+                        name: planes[source] ^ (_ALL_ONES if inverted else np.uint64(0))
+                        for name, source, inverted in step.var_planes
+                    }
+                    planes[step.output] = _eval_expr(
+                        step.expr, variables, planes.shape[1]
+                    )
+
+    def extract_events(self, planes: np.ndarray, trace_count: int) -> np.ndarray:
+        """Per-gate event indices, ``(n_gates, trace_count)``."""
+        gate_count = len(self.offsets)
+        events: Optional[np.ndarray] = None
+        for position, (rows, sources, masks) in enumerate(self.event_positions):
+            values = planes[sources] ^ masks[:, None]
+            bits = np.unpackbits(
+                values.view(np.uint8), axis=1, count=trace_count, bitorder="little"
+            )
+            shifted = bits.astype(self.events_dtype, copy=False)
+            if position:
+                shifted = shifted << position
+            if events is None:
+                if rows.shape[0] == gate_count:
+                    # Position 0 covers every gate: adopt the fresh
+                    # unpack output instead of zero-fill + OR.
+                    events = shifted
+                    continue
+                events = np.zeros(
+                    (gate_count, trace_count), dtype=self.events_dtype
+                )
+            if rows.shape[0] == gate_count:
+                events |= shifted
+            else:
+                events[rows] |= shifted
+        if events is None:
+            events = np.zeros((gate_count, trace_count), dtype=self.events_dtype)
+        return events
+
+
+def _eval_expr(expr: Expr, variables: Mapping[str, np.ndarray], words: int) -> np.ndarray:
+    if isinstance(expr, Var):
+        return variables[expr.name]
+    if isinstance(expr, Const):
+        return np.full(words, _ALL_ONES if expr.value else np.uint64(0), dtype=np.uint64)
+    if isinstance(expr, Not):
+        return ~_eval_expr(expr.operand, variables, words)
+    if isinstance(expr, (And, Or, Xor)):
+        op = {And: np.bitwise_and, Or: np.bitwise_or, Xor: np.bitwise_xor}[type(expr)]
+        result = _eval_expr(expr.args[0], variables, words)
+        for arg in expr.args[1:]:
+            result = op(result, _eval_expr(arg, variables, words))
+        return result
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _flat_connection_args(expr: Expr) -> Optional[Tuple[str, List[Tuple[str, bool]]]]:
+    """``("and"|"or", [(variable, negated), ...])`` for flat NNF gates, else None."""
+    if not isinstance(expr, (And, Or)):
+        return None
+    kind = "and" if isinstance(expr, And) else "or"
+    literals: List[Tuple[str, bool]] = []
+    for arg in expr.args:
+        if isinstance(arg, Var):
+            literals.append((arg.name, False))
+        elif isinstance(arg, Not) and isinstance(arg.operand, Var):
+            literals.append((arg.operand.name, True))
+        else:
+            return None
+    return kind, literals
+
+
+def build_bitslice_plan(program) -> BitslicePlan:
+    """Compile a :class:`~repro.kernel.compile.CompiledProgram` into a plan."""
+    from .compile import KernelError
+
+    circuit = program.circuit
+    tables: Sequence[GateTable] = program.tables
+    technology = program.technology
+
+    net_index: Dict[str, int] = {
+        net: i for i, net in enumerate(circuit.primary_inputs)
+    }
+    net_level: Dict[str, int] = {net: 0 for net in circuit.primary_inputs}
+
+    # ---------------------------------------------------------------- logic
+    staged: Dict[int, List[object]] = {}
+    group_accum: Dict[Tuple[int, str, int], List[Tuple[List[int], List[int], int]]] = {}
+    for gate in circuit.gates:
+        if gate.dpdn.function is None:
+            raise KernelError(
+                f"gate {gate.name} has no function annotation; the bit-sliced "
+                "kernel cannot evaluate it"
+            )
+        missing = [
+            variable
+            for variable in gate.dpdn.variables()
+            if variable not in gate.connections
+        ]
+        if missing:
+            raise KernelError(
+                f"gate {gate.name} leaves DPDN variables {missing} unconnected"
+            )
+        sources = {
+            variable: (net_index[connection.net], connection.inverted)
+            for variable, connection in gate.connections.items()
+        }
+        level = 1 + max(
+            (net_level[connection.net] for connection in gate.connections.values()),
+            default=0,
+        )
+        output = len(net_index)
+        net_index[gate.output_net] = output
+        net_level[gate.output_net] = level
+
+        flat = _flat_connection_args(gate.dpdn.function)
+        if flat is not None:
+            kind, literals = flat
+            row_sources = [sources[name][0] for name, _ in literals]
+            row_inverted = [
+                sources[name][1] ^ negated for name, negated in literals
+            ]
+            group_accum.setdefault((level, kind, len(literals)), []).append(
+                (row_sources, row_inverted, output)
+            )
+        else:
+            staged.setdefault(level, []).append(
+                _ExprStep(
+                    expr=gate.dpdn.function,
+                    var_planes=tuple(
+                        (name, index, inverted)
+                        for name, (index, inverted) in sorted(sources.items())
+                    ),
+                    output=output,
+                )
+            )
+
+    for (level, kind, fanin), rows in group_accum.items():
+        staged.setdefault(level, []).append(
+            _OpGroup(
+                kind=kind,
+                sources=np.array([row[0] for row in rows], dtype=np.intp),
+                inverted=np.where(
+                    np.array([row[1] for row in rows], dtype=bool),
+                    _ALL_ONES,
+                    np.uint64(0),
+                ),
+                outputs=np.array([row[2] for row in rows], dtype=np.intp),
+            )
+        )
+    levels = tuple(tuple(staged[level]) for level in sorted(staged))
+
+    # --------------------------------------------------------------- events
+    max_fanin = max((len(table.variables) for table in tables), default=0)
+    event_positions = []
+    for position in range(max_fanin):
+        rows: List[int] = []
+        source_nets: List[int] = []
+        masks: List[np.uint64] = []
+        for row, (gate, table) in enumerate(zip(circuit.gates, tables)):
+            if position >= len(table.variables):
+                continue
+            connection = gate.connections[table.variables[position]]
+            rows.append(row)
+            source_nets.append(net_index[connection.net])
+            masks.append(_ALL_ONES if connection.inverted else np.uint64(0))
+        event_positions.append(
+            (
+                np.array(rows, dtype=np.intp),
+                np.array(source_nets, dtype=np.intp),
+                np.array(masks, dtype=np.uint64),
+            )
+        )
+
+    # -------------------------------------------------------- energy tables
+    sizes = [table.baseline.shape[0] for table in tables]
+    offsets = np.zeros(len(tables), dtype=np.int32)
+    if tables:
+        offsets[1:] = np.cumsum(sizes[:-1])
+    total_events = int(sum(sizes))
+    energy_flat = np.zeros(total_events, dtype=float)
+    touch_flat = np.zeros(total_events, dtype=np.uint64)
+    touchable = np.zeros(len(tables), dtype=np.uint64)
+    maskable = np.ones(len(tables), dtype=bool)
+    for row, table in enumerate(tables):
+        start = int(offsets[row])
+        stop = start + sizes[row]
+        # The exact scalar chain of the event backend:
+        # (baseline + cap_dot) [+ extra] -> switching_energy, elementwise.
+        total = table.baseline + table.cap_dot
+        if table.extra is not None:
+            total = total + table.extra
+        energy_flat[start:stop] = technology.switching_energy(total)
+        n_internal = table.internal_caps.shape[0]
+        if n_internal > 64:
+            maskable[row] = False
+            continue
+        if n_internal:
+            bit_values = np.uint64(1) << np.arange(n_internal, dtype=np.uint64)
+            touch_flat[start:stop] = table.connected.astype(np.uint64) @ bit_values
+            touchable[row] = np.bitwise_or.reduce(touch_flat[start:stop])
+
+    constant_fold: Optional[np.float64] = None
+    if tables and all(
+        np.ptp(energy_flat[int(offsets[row]) : int(offsets[row]) + sizes[row]]) == 0.0
+        for row in range(len(tables))
+    ):
+        accumulator = np.float64(0.0)
+        for row in range(len(tables)):
+            # Same IEEE add chain as the event backend's per-gate fold.
+            accumulator = accumulator + energy_flat[int(offsets[row])]
+        constant_fold = accumulator
+
+    return BitslicePlan(
+        net_count=len(net_index),
+        net_index=net_index,
+        levels=levels,
+        event_positions=tuple(event_positions),
+        events_dtype=np.dtype(np.uint8 if max_fanin <= 8 else np.int32),
+        offsets=offsets,
+        energy_flat=energy_flat,
+        touch_flat=touch_flat,
+        touchable=touchable,
+        maskable=maskable,
+        constant_fold=constant_fold,
+    )
+
+
+class BitslicedCircuitEnergyModel:
+    """Bit-sliced drop-in for :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel`.
+
+    Built from a :class:`~repro.kernel.compile.CompiledProgram`; produces
+    bit-identical per-cycle energies (same batch semantics, same stateful
+    memory effect across :meth:`energies` calls) while evaluating gate
+    logic 64 traces per word and replacing the per-unique-vector Python
+    circuit walk with flat array gathers -- throughput is therefore
+    nearly independent of the primary-input width.
+    """
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.circuit = program.circuit
+        self.technology = program.technology
+        self.gate_style = program.gate_style
+        self._tables = list(program.tables)
+        self._plan: BitslicePlan = program.plan()
+        self.reset()
+
+    def reset(self) -> None:
+        """Return every internal node to the precharged state."""
+        self._discharged = [
+            np.zeros(table.internal_caps.shape, dtype=bool) for table in self._tables
+        ]
+        self._discharged_mask = np.zeros(len(self._tables), dtype=np.uint64)
+        # Gates that may still hit the first-discharge correction path.
+        self._pending = np.flatnonzero(
+            ((self._plan.touchable & ~self._discharged_mask) != 0)
+            | ~self._plan.maskable
+        )
+
+    # ---------------------------------------------------------------- energies
+
+    def energies(
+        self,
+        vectors: Union[np.ndarray, Sequence[Mapping[str, bool]]],
+        batch_size: int = 1024,
+    ) -> np.ndarray:
+        """Per-cycle total supply energy; see the event backend for semantics."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        matrix = self._as_matrix(vectors)
+        total = np.zeros(matrix.shape[0], dtype=float)
+        for start in range(0, matrix.shape[0], batch_size):
+            stop = min(start + batch_size, matrix.shape[0])
+            self._accumulate(matrix[start:stop], total[start:stop])
+        return total
+
+    def _as_matrix(self, vectors) -> np.ndarray:
+        if isinstance(vectors, np.ndarray):
+            matrix = vectors.astype(bool, copy=False)
+            if matrix.ndim != 2 or matrix.shape[1] != len(self.circuit.primary_inputs):
+                raise ValueError(
+                    f"input matrix must have shape (cycles, "
+                    f"{len(self.circuit.primary_inputs)})"
+                )
+            return matrix
+        return np.array(
+            [
+                [bool(vector[name]) for name in self.circuit.primary_inputs]
+                for vector in vectors
+            ],
+            dtype=bool,
+        ).reshape(len(vectors), len(self.circuit.primary_inputs))
+
+    def _accumulate(self, matrix: np.ndarray, out: np.ndarray) -> None:
+        """Add the total circuit energy of one batch of cycles into ``out``."""
+        cycles = matrix.shape[0]
+        if cycles == 0 or not self._tables:
+            return
+        plan = self._plan
+        if plan.constant_fold is not None and not self._pending.size:
+            # Constant-power circuit in steady state: every cycle draws
+            # the same (exact) energy -- no logic evaluation needed.
+            out += plan.constant_fold
+            return
+        packed = pack_bitplanes(matrix)
+        planes = np.zeros((plan.net_count, packed.shape[1]), dtype=np.uint64)
+        planes[: packed.shape[0]] = packed
+        plan.run_logic(planes)
+        events = plan.extract_events(planes, cycles)
+
+        if self._pending.size:
+            # Warm-up batches: materialise the full (n_gates, cycles)
+            # energy matrix so the first-discharge corrections can
+            # overwrite whole rows, then fold.
+            energies = plan.energy_flat[plan.offsets[:, None] + events]
+            self._correct_memory_effect(events, energies)
+            out += _ordered_column_sum(energies)
+            return
+
+        if cycles == 1:
+            # Single-cycle batches skip the chunked fold: the full
+            # gather is one column, and the chunk reductions would all
+            # run through the single-column ordered-sum detour anyway.
+            energies = plan.energy_flat[plan.offsets[:, None] + events]
+            out += _ordered_column_sum(energies)
+            return
+
+        # Steady state (every reachable internal node discharged): fold
+        # gate chunks while their gathered energies are still cache-hot.
+        # Seeding each chunk's reduction with the running accumulator as
+        # row 0 keeps the float summation the exact left-fold the event
+        # backend computes, chunk boundaries notwithstanding.
+        gate_count = events.shape[0]
+        chunk = _FOLD_CHUNK
+        flat = np.empty((min(chunk, gate_count), cycles), dtype=np.intp)
+        buffer = np.empty((flat.shape[0] + 1, cycles), dtype=float)
+        accumulator = np.zeros(cycles, dtype=float)
+        offsets = plan.offsets
+        for start in range(0, gate_count, chunk):
+            stop = min(start + chunk, gate_count)
+            rows = stop - start
+            np.add(offsets[start:stop, None], events[start:stop], out=flat[:rows])
+            np.take(plan.energy_flat, flat[:rows], out=buffer[1 : rows + 1])
+            buffer[0] = accumulator
+            np.add.reduce(buffer[: rows + 1], axis=0, out=accumulator)
+        out += accumulator
+
+    def _correct_memory_effect(self, events: np.ndarray, energies: np.ndarray) -> None:
+        """Recompute rows whose gates still have precharged internal nodes.
+
+        Applies the event backend's first-discharge accounting exactly,
+        then drops gates whose reachable internal nodes have all
+        discharged from the pending set.
+        """
+        plan = self._plan
+        pending = self._pending
+        masks = plan.touch_flat[plan.offsets[pending][:, None] + events[pending]]
+        batch_touch = np.bitwise_or.reduce(masks, axis=1)
+        needs_fix = ((batch_touch & ~self._discharged_mask[pending]) != 0) | ~(
+            plan.maskable[pending]
+        )
+        for row in pending[needs_fix]:
+            table = self._tables[row]
+            indices = events[row]
+            connected = table.connected[indices]
+            capacitance = table.cap_dot[indices]
+            touched = connected.any(axis=0)
+            fresh = touched & ~self._discharged[row]
+            if fresh.any():
+                first_cycle = connected[:, fresh].argmax(axis=0)
+                np.subtract.at(capacitance, first_cycle, table.internal_caps[fresh])
+            self._discharged[row] |= touched
+            total_capacitance = table.baseline[indices] + capacitance
+            if table.extra is not None:
+                total_capacitance += table.extra[indices]
+            energies[row] = self.technology.switching_energy(total_capacitance)
+        self._discharged_mask[pending] |= batch_touch
+        still_pending = (
+            (plan.touchable[pending] & ~self._discharged_mask[pending]) != 0
+        ) | ~plan.maskable[pending]
+        self._pending = pending[still_pending]

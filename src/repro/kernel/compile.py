@@ -1,0 +1,118 @@
+"""Compile a differential circuit once; simulate it many times.
+
+A :class:`CompiledProgram` bundles everything the simulator back-ends
+need that is independent of the trace data: the circuit, the resolved
+technology card, the per-gate event/energy tables
+(:func:`repro.sabl.simulator.build_gate_tables` -- the expensive,
+width-independent part of model construction) and, built lazily on
+first use, the bit-sliced straight-line plan of
+:mod:`repro.kernel.bitslice`.  The flow pipeline caches one program per
+flow alongside the circuit stage, and every engine worker reuses its
+flow's program across shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..electrical.technology import Technology, generic_180nm
+from ..sabl.circuit import DifferentialCircuit
+from ..sabl.simulator import GateTable, build_gate_tables
+
+__all__ = ["KernelError", "CompiledProgram", "compile_circuit"]
+
+
+class KernelError(ValueError):
+    """A circuit cannot be compiled into a bit-sliced kernel."""
+
+
+@dataclass
+class CompiledProgram:
+    """A circuit compiled for repeated simulation.
+
+    Instances are immutable in spirit: the tables and plan are shared,
+    read-only inputs of the (stateful) energy models built from them.
+    """
+
+    circuit: DifferentialCircuit
+    technology: Technology
+    gate_style: str
+    output_load: Optional[float]
+    net_loads: Optional[Mapping[str, Tuple[float, float]]]
+    tables: Tuple[GateTable, ...]
+    _plan: Optional[object] = field(default=None, repr=False, compare=False)
+
+    def plan(self):
+        """The bit-sliced :class:`~repro.kernel.bitslice.BitslicePlan` (lazy)."""
+        if self._plan is None:
+            from .bitslice import build_bitslice_plan
+
+            self._plan = build_bitslice_plan(self)
+        return self._plan
+
+    def gate_count(self) -> int:
+        return len(self.tables)
+
+    def evaluate_outputs(self, matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        """Logic-only bit-sliced evaluation of the circuit outputs.
+
+        ``matrix`` is a ``(traces, inputs)`` boolean array with columns
+        ordered like ``circuit.primary_inputs``; returns one boolean
+        ``(traces,)`` array per named circuit output.  This is the pure
+        functional view used by the wide-circuit conformance tests.
+        """
+        from .bitslice import _eval_expr  # noqa: F401  (plan import side)
+        from .pack import pack_bitplanes, unpack_bitplanes
+
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.circuit.primary_inputs):
+            raise ValueError(
+                f"input matrix must have shape (traces, "
+                f"{len(self.circuit.primary_inputs)})"
+            )
+        plan = self.plan()
+        packed = pack_bitplanes(matrix)
+        planes = np.zeros((plan.net_count, packed.shape[1]), dtype=np.uint64)
+        planes[: packed.shape[0]] = packed
+        plan.run_logic(planes)
+        outputs: Dict[str, np.ndarray] = {}
+        for name, net in self.circuit.outputs.items():
+            row = planes[plan.net_index[net]][None, :]
+            outputs[name] = unpack_bitplanes(row, matrix.shape[0])[0]
+        return outputs
+
+
+def compile_circuit(
+    circuit: DifferentialCircuit,
+    technology: Optional[Technology] = None,
+    gate_style: str = "sabl",
+    output_load: Optional[float] = None,
+    net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
+) -> CompiledProgram:
+    """Compile ``circuit`` into a reusable :class:`CompiledProgram`.
+
+    The arguments mirror the simulator constructors; ``net_loads``
+    back-annotates routed per-net rail capacitances exactly like
+    :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel`.
+    """
+    technology = technology or generic_180nm()
+    tables = tuple(
+        build_gate_tables(
+            circuit,
+            technology=technology,
+            gate_style=gate_style,
+            output_load=output_load,
+            net_loads=net_loads,
+        )
+    )
+    return CompiledProgram(
+        circuit=circuit,
+        technology=technology,
+        gate_style=gate_style,
+        output_load=output_load,
+        net_loads=dict(net_loads) if net_loads else None,
+        tables=tables,
+    )

@@ -1,0 +1,70 @@
+"""Bit-plane packing for the bit-sliced simulator kernel.
+
+The bit-sliced backend stores one logic value per *bit* of a uint64
+word -- 64 traces per word, the classic software bit-slicing layout from
+the block-cipher implementation literature (bitsliced DES/PRESENT).  A
+campaign of ``B`` input vectors over ``W`` primary inputs becomes a
+``(W, ceil(B / 64))`` uint64 *plane* array: plane ``i`` holds bit ``i``
+of every trace, and trace ``t`` lives in bit ``t % 64`` of word
+``t // 64``.
+
+Packing and unpacking both go through the same little-endian *byte*
+view (``np.packbits`` / ``np.unpackbits`` with ``bitorder="little"``),
+so the trace <-> bit correspondence is identical on any host
+endianness: the uint64 words are only ever combined with bitwise
+operators, which act bytewise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WORD_BITS", "word_count", "pack_bitplanes", "unpack_bitplanes"]
+
+#: Traces carried per machine word.
+WORD_BITS = 64
+
+
+def word_count(trace_count: int) -> int:
+    """Number of uint64 words needed to carry ``trace_count`` traces."""
+    if trace_count < 0:
+        raise ValueError("trace_count must be non-negative")
+    return (trace_count + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bitplanes(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(traces, planes)`` boolean matrix into uint64 bit planes.
+
+    Returns a ``(planes, words)`` uint64 array with trace ``t`` in bit
+    ``t % 64`` of word ``t // 64``; pad bits beyond the trace count are
+    zero.
+    """
+    matrix = np.asarray(matrix, dtype=bool)
+    if matrix.ndim != 2:
+        raise ValueError("expected a (traces, planes) boolean matrix")
+    traces, planes = matrix.shape
+    words = word_count(traces)
+    packed = np.packbits(matrix.T, axis=1, bitorder="little")  # (planes, ceil(B/8))
+    padded = np.zeros((planes, words * 8), dtype=np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded.view(np.uint64)
+
+
+def unpack_bitplanes(planes: np.ndarray, trace_count: int) -> np.ndarray:
+    """Unpack ``(planes, words)`` uint64 bit planes back to booleans.
+
+    Returns a ``(planes, trace_count)`` boolean array -- the transpose
+    of the :func:`pack_bitplanes` input layout.
+    """
+    planes = np.ascontiguousarray(planes, dtype=np.uint64)
+    if planes.ndim != 2:
+        raise ValueError("expected a (planes, words) uint64 array")
+    if trace_count > planes.shape[1] * WORD_BITS:
+        raise ValueError(
+            f"trace_count {trace_count} exceeds plane capacity "
+            f"{planes.shape[1] * WORD_BITS}"
+        )
+    bits = np.unpackbits(
+        planes.view(np.uint8), axis=1, count=trace_count, bitorder="little"
+    )
+    return bits.astype(bool)

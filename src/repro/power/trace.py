@@ -17,7 +17,7 @@ measurements.  Two acquisition back-ends exist:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,8 +42,12 @@ def nibble_matrix(values: np.ndarray, width: int = 4) -> np.ndarray:
 
     This is the stimulus-to-input-vector convention shared by the
     acquisition back-ends and the flow pipeline's assessment stream.
+    Unsigned value arrays are supported (full 64-bit states shift within
+    their own dtype instead of failing to cast against the bit indices).
     """
-    return ((values[:, None] >> np.arange(width)) & 1).astype(bool)
+    values = np.asarray(values)
+    shifts = np.arange(width, dtype=values.dtype)
+    return ((values[:, None] >> shifts) & values.dtype.type(1)).astype(bool)
 
 
 #: A measurement-environment model applied to the acquired energies:
@@ -117,6 +121,8 @@ def acquire_circuit_traces(
     batch_size: Optional[int] = 1024,
     noise_model: Optional[NoiseModelFn] = None,
     net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
+    simulator: str = "event",
+    program: Optional[Any] = None,
 ) -> TraceSet:
     """Record one power sample per cycle from the gate-level charge model.
 
@@ -151,30 +157,62 @@ def acquire_circuit_traces(
     (``{output_net: (c_true, c_false)}``, see
     :meth:`repro.layout.NetParasitics.rail_loads`) into whichever
     back-end runs; ``None`` keeps the layout-free streams byte-identical.
+
+    ``simulator`` picks the batched back-end from the
+    :mod:`repro.kernel` registry (``"event"`` is today's reference
+    model, ``"bitslice"`` the packed-uint64 compiled kernel -- both are
+    bit-identical); ``program`` optionally supplies an existing
+    :class:`~repro.kernel.CompiledProgram` of ``circuit`` so repeated
+    acquisitions (engine shards, sweeps) skip recompilation.  The
+    per-trace Python loop (``batch_size=None``) has no pluggable
+    back-end and rejects anything but ``"event"``.
     """
     inputs = list(circuit.primary_inputs)
     width = len(inputs)
     rng = np.random.default_rng(seed)
-    plaintexts = rng.integers(0, 1 << width, size=trace_count)
-    warmup = rng.integers(0, 1 << width, size=warmup_cycles)
+    # Full-width (64-bit) slices overflow the default int64 draw; the
+    # uint64 branch is taken only there so every narrower campaign keeps
+    # its pinned random stream bit-for-bit.
+    draw_dtype = {"dtype": np.uint64} if width >= 64 else {}
+    plaintexts = rng.integers(0, 1 << width, size=trace_count, **draw_dtype)
+    warmup = rng.integers(0, 1 << width, size=warmup_cycles, **draw_dtype)
     if batch_size is not None:
-        model = BatchedCircuitEnergyModel(
-            circuit, technology=technology, gate_style=gate_style, net_loads=net_loads
-        )
+        from ..kernel import compile_circuit, get_simulator
+
+        factory = get_simulator(simulator)
+        if program is None:
+            program = compile_circuit(
+                circuit,
+                technology=technology,
+                gate_style=gate_style,
+                net_loads=net_loads,
+            )
+        elif program.circuit is not circuit:
+            raise ValueError(
+                "program was compiled from a different circuit than the one "
+                "being traced; recompile with repro.kernel.compile_circuit"
+            )
+        model = factory(program)
         if warmup_cycles:
             model.energies(nibble_matrix(warmup, width), batch_size=batch_size)
         energies = model.energies(nibble_matrix(plaintexts, width), batch_size=batch_size)
     else:
-        simulator = CircuitPowerSimulator(
+        if simulator != "event":
+            raise ValueError(
+                f"batch_size=None selects the per-trace Python loop, which "
+                f"has no pluggable back-end; simulator {simulator!r} needs "
+                f"a batch size"
+            )
+        stepper = CircuitPowerSimulator(
             circuit, technology=technology, gate_style=gate_style, net_loads=net_loads
         )
         for plaintext in warmup:
             vector = dict(zip(inputs, bits_of(int(plaintext), width)))
-            simulator.step(vector)
+            stepper.step(vector)
         energies = np.empty(trace_count, dtype=float)
         for index, plaintext in enumerate(plaintexts):
             vector = dict(zip(inputs, bits_of(int(plaintext), width)))
-            energies[index] = simulator.step(vector).total_energy
+            energies[index] = stepper.step(vector).total_energy
     if noise_std > 0.0:
         sigma = noise_std * float(np.mean(energies))
         energies = energies + rng.normal(0.0, sigma, size=trace_count)

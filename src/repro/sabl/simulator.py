@@ -24,7 +24,13 @@ from ..electrical.energy import CycleEnergySimulator, EventEnergyModel
 from ..electrical.technology import Technology, generic_180nm
 from .circuit import DifferentialCircuit, GateInstance
 
-__all__ = ["CyclePowerRecord", "CircuitPowerSimulator", "BatchedCircuitEnergyModel"]
+__all__ = [
+    "CyclePowerRecord",
+    "CircuitPowerSimulator",
+    "GateTable",
+    "build_gate_tables",
+    "BatchedCircuitEnergyModel",
+]
 
 
 @dataclass(frozen=True)
@@ -117,7 +123,7 @@ class CircuitPowerSimulator:
 
 
 @dataclass
-class _GateTable:
+class GateTable:
     """Per-gate lookup tables of the batched energy model.
 
     A gate with ``k`` inputs sees one of ``2**k`` complementary input
@@ -126,6 +132,11 @@ class _GateTable:
     event connects to the discharge roots and the data-independent
     baseline capacitance (recharged module outputs plus output load), so
     a whole campaign reduces to NumPy gathers over these tables.
+
+    Tables are immutable once built and hold no charge state, so one set
+    can be shared between any number of energy models (and between the
+    ``event`` and ``bitslice`` simulator back-ends of
+    :mod:`repro.kernel`).
     """
 
     gate: GateInstance
@@ -133,9 +144,16 @@ class _GateTable:
     internal_caps: np.ndarray  # (n_internal,) capacitance per internal node
     connected: np.ndarray  # (2**k, n_internal) bool
     baseline: np.ndarray  # (2**k,) baseline capacitance per event
+    #: (2**k,) per-event internal capacitance ``connected @ internal_caps``,
+    #: precomputed so the hot path is a gather instead of a matmul.
+    cap_dot: np.ndarray = None  # type: ignore[assignment]
     #: (2**k,) back-annotated swinging-rail imbalance excess per event,
     #: or ``None`` for the layout-free model (legacy float path).
     extra: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.cap_dot is None:
+            self.cap_dot = self.connected @ self.internal_caps
 
     def event_index(self, event: Mapping[str, bool]) -> int:
         index = 0
@@ -143,6 +161,77 @@ class _GateTable:
             if event[variable]:
                 index |= 1 << bit
         return index
+
+
+#: Backwards-compatible private alias (pre-kernel name).
+_GateTable = GateTable
+
+
+def build_gate_tables(
+    circuit: DifferentialCircuit,
+    technology: Optional[Technology] = None,
+    gate_style: str = "sabl",
+    output_load: Optional[float] = None,
+    net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
+) -> List[GateTable]:
+    """Build the per-gate event tables of ``circuit``, in gate order.
+
+    This is the (one-time, width-independent) expensive part of
+    constructing a :class:`BatchedCircuitEnergyModel`; it is exposed so
+    :mod:`repro.kernel` can compile a circuit once and share the tables
+    across simulator back-ends.
+    """
+    technology = technology or generic_180nm()
+    net_loads = net_loads or {}
+    tables: List[GateTable] = []
+    for gate in circuit.gates:
+        model = EventEnergyModel(
+            gate.dpdn,
+            technology,
+            style=gate_style,
+            output_load=output_load,
+            wire_load=net_loads.get(gate.output_net),
+        )
+        variables = tuple(gate.dpdn.variables())
+        internal = gate.dpdn.internal_nodes()
+        caps = np.array(
+            [model.capacitances.capacitance(node) for node in internal], dtype=float
+        )
+        event_count = 1 << len(variables)
+        connected = np.zeros((event_count, len(internal)), dtype=bool)
+        baseline = np.empty(event_count, dtype=float)
+        extra = (
+            np.empty(event_count, dtype=float)
+            if model.wire_load is not None
+            else None
+        )
+        for index in range(event_count):
+            assignment = {
+                variable: bool((index >> bit) & 1)
+                for bit, variable in enumerate(variables)
+            }
+            nodes = model.discharged_nodes(assignment)
+            connected[index] = [node in nodes for node in internal]
+            recharged_outputs = [
+                node for node in (gate.dpdn.x, gate.dpdn.y) if node in nodes
+            ]
+            baseline[index] = (
+                model.capacitances.total(recharged_outputs) + model.output_load
+            )
+            if extra is not None:
+                value = bool(gate.dpdn.function.evaluate(assignment))
+                extra[index] = model.swing_excess(value)
+        tables.append(
+            GateTable(
+                gate=gate,
+                variables=variables,
+                internal_caps=caps,
+                connected=connected,
+                baseline=baseline,
+                extra=extra,
+            )
+        )
+    return tables
 
 
 class BatchedCircuitEnergyModel:
@@ -178,59 +267,24 @@ class BatchedCircuitEnergyModel:
         gate_style: str = "sabl",
         output_load: Optional[float] = None,
         net_loads: Optional[Mapping[str, Tuple[float, float]]] = None,
+        tables: Optional[Sequence[GateTable]] = None,
     ) -> None:
         self.circuit = circuit
         self.technology = technology or generic_180nm()
         self.gate_style = gate_style
-        net_loads = net_loads or {}
-        self._tables: List[_GateTable] = []
-        for gate in circuit.gates:
-            model = EventEnergyModel(
-                gate.dpdn,
-                self.technology,
-                style=gate_style,
+        if tables is None:
+            tables = build_gate_tables(
+                circuit,
+                technology=self.technology,
+                gate_style=gate_style,
                 output_load=output_load,
-                wire_load=net_loads.get(gate.output_net),
+                net_loads=net_loads,
             )
-            variables = tuple(gate.dpdn.variables())
-            internal = gate.dpdn.internal_nodes()
-            caps = np.array(
-                [model.capacitances.capacitance(node) for node in internal], dtype=float
+        elif len(tables) != len(circuit.gates):
+            raise ValueError(
+                f"expected {len(circuit.gates)} gate tables, got {len(tables)}"
             )
-            event_count = 1 << len(variables)
-            connected = np.zeros((event_count, len(internal)), dtype=bool)
-            baseline = np.empty(event_count, dtype=float)
-            extra = (
-                np.empty(event_count, dtype=float)
-                if model.wire_load is not None
-                else None
-            )
-            for index in range(event_count):
-                assignment = {
-                    variable: bool((index >> bit) & 1)
-                    for bit, variable in enumerate(variables)
-                }
-                nodes = model.discharged_nodes(assignment)
-                connected[index] = [node in nodes for node in internal]
-                recharged_outputs = [
-                    node for node in (gate.dpdn.x, gate.dpdn.y) if node in nodes
-                ]
-                baseline[index] = (
-                    model.capacitances.total(recharged_outputs) + model.output_load
-                )
-                if extra is not None:
-                    value = bool(gate.dpdn.function.evaluate(assignment))
-                    extra[index] = model.swing_excess(value)
-            self._tables.append(
-                _GateTable(
-                    gate=gate,
-                    variables=variables,
-                    internal_caps=caps,
-                    connected=connected,
-                    baseline=baseline,
-                    extra=extra,
-                )
-            )
+        self._tables: List[GateTable] = list(tables)
         # Per unique primary-input vector: event index of every gate.
         self._event_rows: Dict[Tuple[bool, ...], np.ndarray] = {}
         self.reset()
@@ -319,7 +373,9 @@ class BatchedCircuitEnergyModel:
         for position, table in enumerate(self._tables):
             indices = events[:, position]
             connected = table.connected[indices]  # (cycles, n_internal)
-            capacitance = connected @ table.internal_caps
+            # Gather the precomputed per-event dot product; bitwise equal
+            # to ``connected @ table.internal_caps`` row by row.
+            capacitance = table.cap_dot[indices]
             touched = connected.any(axis=0)
             # The first time a still-precharged node is connected it
             # discharges for free; every later connection costs a recharge.

@@ -55,6 +55,58 @@ class TestTracePlans:
         with pytest.raises(ValueError):
             plan_shards(100, 0, seed=1)
 
+    def test_min_shard_size_floors_the_shard_size(self):
+        shards = plan_shards(4000, 256, seed=1, min_shard_size=500)
+        assert [shard.count for shard in shards] == [500] * 8
+        # A floor below the requested size changes nothing.
+        small = plan_shards(1000, 256, seed=1, min_shard_size=100)
+        assert [shard.count for shard in small] == [256, 256, 256, 232]
+
+    def test_min_shard_size_matches_an_explicit_plan(self):
+        floored = plan_shards(4000, 64, seed=9, min_shard_size=500)
+        explicit = plan_shards(4000, 500, seed=9)
+        assert [shard.count for shard in floored] == [
+            shard.count for shard in explicit
+        ]
+        for a, b in zip(floored, explicit):
+            assert np.array_equal(
+                np.random.default_rng(a.seed_sequence).integers(0, 1 << 30, 16),
+                np.random.default_rng(b.seed_sequence).integers(0, 1 << 30, 16),
+            )
+
+
+class TestMinShardSizeConfig:
+    """The ExecutionConfig-level floor the benchmarks rely on."""
+
+    def test_effective_shard_size_is_floored(self):
+        from repro.flow.config import ExecutionConfig
+
+        config = ExecutionConfig(workers=4, shard_size=64, min_shard_size=500)
+        assert config.effective_shard_size == 500
+        assert ExecutionConfig(shard_size=512, min_shard_size=100).effective_shard_size == 512
+
+    def test_min_shard_size_alone_does_not_activate_the_engine(self):
+        from repro.flow.config import ExecutionConfig
+
+        assert ExecutionConfig(min_shard_size=500).active is False
+        assert ExecutionConfig(workers=4, min_shard_size=500).active is True
+
+    def test_floored_parallel_campaign_stays_bit_identical(self):
+        from repro.flow import DesignFlow
+
+        def run(workers):
+            flow = DesignFlow.sbox(0xB, trace_count=600)
+            flow.config = flow.config.replace(
+                execution=flow.config.execution.replace(
+                    workers=workers, shard_size=64, min_shard_size=300
+                )
+            )
+            return flow.traces()
+
+        serial, parallel = run(1), run(4)
+        assert np.array_equal(serial.traces, parallel.traces)
+        assert np.array_equal(serial.plaintexts, parallel.plaintexts)
+
 
 class TestAssessmentPlans:
     def test_classes_split_identically_and_exactly(self):

@@ -1,0 +1,351 @@
+"""The compiled bit-sliced simulator backend (:mod:`repro.kernel`).
+
+The kernel's contract is *bit-identity*: whatever circuit, gate style,
+width or back-annotated parasitics, the packed-uint64 backend must
+return exactly the float64 energy stream of the event-table reference
+model.  This suite pins that contract -- deterministically on
+representative circuits and scenarios, property-based on random mapped
+circuits, and end-to-end through the sharded engine and the artifact
+store's simulator equivalence class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flow import CampaignConfig, DesignFlow, ExecutionConfig, FlowConfig
+from repro.flow.config import ConfigError
+from repro.flow.registry import DuplicateBackendError, UnknownBackendError
+from repro.kernel import (
+    SIMULATORS,
+    BitslicedCircuitEnergyModel,
+    CompiledProgram,
+    WORD_BITS,
+    compile_circuit,
+    get_simulator,
+    pack_bitplanes,
+    register_simulator,
+    unpack_bitplanes,
+    word_count,
+)
+from repro.power.trace import acquire_circuit_traces, build_sbox_circuit
+from repro.sabl.circuit import map_expressions
+from repro.sabl.simulator import BatchedCircuitEnergyModel
+
+from strategies import HAVE_HYPOTHESIS, expression_strategy
+
+
+def _random_matrix(rng, cycles, width):
+    return rng.integers(0, 2, size=(cycles, width)).astype(bool)
+
+
+def _event_model(program: CompiledProgram) -> BatchedCircuitEnergyModel:
+    return get_simulator("event")(program)
+
+
+# ------------------------------------------------------------------ packing
+
+
+class TestPacking:
+    def test_word_count(self):
+        assert word_count(1) == 1
+        assert word_count(64) == 1
+        assert word_count(65) == 2
+        assert WORD_BITS == 64
+
+    @pytest.mark.parametrize("cycles", [1, 7, 64, 65, 200])
+    @pytest.mark.parametrize("nets", [1, 3, 11])
+    def test_roundtrip(self, cycles, nets):
+        rng = np.random.default_rng(cycles * 31 + nets)
+        matrix = rng.integers(0, 2, size=(cycles, nets)).astype(bool)
+        planes = pack_bitplanes(matrix)
+        assert planes.dtype == np.uint64
+        assert planes.shape == (nets, word_count(cycles))
+        assert np.array_equal(unpack_bitplanes(planes, cycles), matrix.T)
+
+    def test_padding_bits_are_zero(self):
+        matrix = np.ones((5, 2), dtype=bool)
+        planes = pack_bitplanes(matrix)
+        # Bits 5..63 of the single word must be zero padding.
+        assert planes[0, 0] == np.uint64(0b11111)
+
+
+# ----------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert "event" in SIMULATORS
+        assert "bitslice" in SIMULATORS
+
+    def test_unknown_simulator_lists_available(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_simulator("verilator")
+        message = str(excinfo.value)
+        assert "verilator" in message and "bitslice" in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DuplicateBackendError):
+            register_simulator("event", lambda program: None)
+
+    def test_custom_backend_round_trip(self):
+        sentinel = object()
+        register_simulator("custom-test", lambda program: sentinel)
+        try:
+            assert get_simulator("custom-test")(None) is sentinel
+        finally:
+            SIMULATORS.unregister("custom-test")
+
+    def test_factories_share_the_compiled_tables(self):
+        circuit = build_sbox_circuit(0xB)
+        program = compile_circuit(circuit)
+        model = _event_model(program)
+        assert model._tables[0] is program.tables[0]
+
+
+# ------------------------------------------------------------- compilation
+
+
+class TestCompiledProgram:
+    def test_evaluate_outputs_matches_interpreted_nets(self):
+        circuit = build_sbox_circuit(0x7)
+        program = compile_circuit(circuit)
+        assert program.gate_count() == len(circuit.gates)
+        rng = np.random.default_rng(11)
+        matrix = _random_matrix(rng, 150, 4)
+        outputs = program.evaluate_outputs(matrix)
+        for row in range(matrix.shape[0]):
+            inputs = dict(zip(circuit.primary_inputs, matrix[row]))
+            nets = circuit.evaluate_nets(inputs)
+            for name, net in circuit.outputs.items():
+                assert outputs[name][row] == nets[net], (name, row)
+
+    def test_evaluate_outputs_validates_width(self):
+        program = compile_circuit(build_sbox_circuit(0x7))
+        with pytest.raises(ValueError):
+            program.evaluate_outputs(np.zeros((4, 3), dtype=bool))
+
+    def test_plan_is_cached(self):
+        program = compile_circuit(build_sbox_circuit(0x7))
+        assert program.plan() is program.plan()
+
+
+# ------------------------------------------------------------- bit-identity
+
+
+def _assert_bit_identical(circuit, *, net_loads=None, batches=((64, 200), (33, 50))):
+    """Event and bitslice streams must agree bit-for-bit, including the
+    stateful memory effect across several ``energies`` calls with odd
+    batch sizes."""
+    program = compile_circuit(circuit, net_loads=net_loads)
+    event = _event_model(program)
+    bitslice = BitslicedCircuitEnergyModel(program)
+    rng = np.random.default_rng(2005)
+    width = len(circuit.primary_inputs)
+    for batch_size, cycles in batches:
+        matrix = _random_matrix(rng, cycles, width)
+        expected = event.energies(matrix, batch_size=batch_size)
+        actual = bitslice.energies(matrix, batch_size=batch_size)
+        assert np.array_equal(expected, actual)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("gate_style", ["sabl", "cvsl"])
+    @pytest.mark.parametrize("network_style", ["fc", "genuine"])
+    def test_sbox_circuit(self, gate_style, network_style):
+        circuit = build_sbox_circuit(0xB, network_style=network_style)
+        program = compile_circuit(circuit, gate_style=gate_style)
+        event = _event_model(program)
+        bitslice = BitslicedCircuitEnergyModel(program)
+        rng = np.random.default_rng(7)
+        matrix = _random_matrix(rng, 300, 4)
+        assert np.array_equal(
+            event.energies(matrix, batch_size=77),
+            bitslice.energies(matrix, batch_size=77),
+        )
+
+    def test_routed_net_loads(self):
+        circuit = build_sbox_circuit(0xB)
+        rng = np.random.default_rng(13)
+        nets = [gate.output_net for gate in circuit.gates]
+        loads = {
+            net: (float(rng.uniform(1e-16, 5e-15)), float(rng.uniform(1e-16, 5e-15)))
+            for net in nets[:: 2]
+        }
+        _assert_bit_identical(circuit, net_loads=loads)
+
+    def test_reset_replays_the_memory_effect(self):
+        circuit = build_sbox_circuit(0x3, network_style="genuine")
+        program = compile_circuit(circuit)
+        model = BitslicedCircuitEnergyModel(program)
+        rng = np.random.default_rng(5)
+        matrix = _random_matrix(rng, 120, 4)
+        first = model.energies(matrix, batch_size=48)
+        model.reset()
+        assert np.array_equal(first, model.energies(matrix, batch_size=48))
+
+    def test_acquire_circuit_traces_dispatches_by_name(self):
+        circuit = build_sbox_circuit(0xB)
+        kwargs = dict(key=0xB, trace_count=400, noise_std=0.01)
+        event = acquire_circuit_traces(circuit, simulator="event", **kwargs)
+        bitslice = acquire_circuit_traces(circuit, simulator="bitslice", **kwargs)
+        assert np.array_equal(event.traces, bitslice.traces)
+        assert np.array_equal(event.plaintexts, bitslice.plaintexts)
+
+    def test_foreign_program_is_rejected(self):
+        circuit = build_sbox_circuit(0xB)
+        other = compile_circuit(build_sbox_circuit(0x3))
+        with pytest.raises(ValueError):
+            acquire_circuit_traces(
+                circuit, key=0xB, trace_count=10, program=other
+            )
+
+    def test_per_trace_loop_has_no_backends(self):
+        circuit = build_sbox_circuit(0xB)
+        with pytest.raises(ValueError):
+            acquire_circuit_traces(
+                circuit, key=0xB, trace_count=10, batch_size=None,
+                simulator="bitslice",
+            )
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestBitIdentityProperties:
+    def test_random_mapped_circuits_are_bit_identical(self):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            expressions=st.lists(
+                expression_strategy(max_leaves=6), min_size=1, max_size=3
+            ),
+            gate_style=st.sampled_from(["sabl", "cvsl"]),
+            network_style=st.sampled_from(["fc", "genuine"]),
+            load_seed=st.integers(0, 2**16),
+            data=st.data(),
+        )
+        def check(expressions, gate_style, network_style, load_seed, data):
+            circuit = map_expressions(
+                {f"F{i}": expr for i, expr in enumerate(expressions)},
+                primary_inputs=["A", "B", "C", "D"],
+                network_style=network_style,
+                name="prop",
+            )
+            rng = np.random.default_rng(load_seed)
+            net_loads = None
+            if data.draw(st.booleans()):
+                net_loads = {
+                    gate.output_net: (
+                        float(rng.uniform(1e-16, 5e-15)),
+                        float(rng.uniform(1e-16, 5e-15)),
+                    )
+                    for gate in circuit.gates
+                    if rng.random() < 0.5
+                }
+            program = compile_circuit(
+                circuit, gate_style=gate_style, net_loads=net_loads
+            )
+            event = _event_model(program)
+            bitslice = BitslicedCircuitEnergyModel(program)
+            cycles = data.draw(st.integers(1, 150))
+            batch_size = data.draw(st.integers(1, 96))
+            matrix = _random_matrix(rng, cycles, 4)
+            assert np.array_equal(
+                event.energies(matrix, batch_size=batch_size),
+                bitslice.energies(matrix, batch_size=batch_size),
+            )
+
+        check()
+
+
+# ------------------------------------------------------------ flow + engine
+
+
+def _sbox_flow(simulator, execution=None, **campaign_overrides):
+    config = FlowConfig(
+        name="kernel_test",
+        campaign=CampaignConfig(
+            key=0xB, trace_count=400, simulator=simulator, **campaign_overrides
+        ),
+    )
+    if execution is not None:
+        config = config.replace(execution=execution)
+    return DesignFlow(None, config)
+
+
+class TestFlowIntegration:
+    def test_trace_stage_reports_the_simulator(self):
+        flow = _sbox_flow("bitslice")
+        assert flow.result("traces").details["simulator"] == "bitslice"
+
+    def test_sharded_four_worker_run_matches_the_event_backend(self):
+        event = _sbox_flow(
+            "event", ExecutionConfig(workers=4, shard_size=100)
+        ).traces()
+        bitslice = _sbox_flow(
+            "bitslice", ExecutionConfig(workers=4, shard_size=100)
+        ).traces()
+        assert np.array_equal(event.traces, bitslice.traces)
+        assert np.array_equal(event.plaintexts, bitslice.plaintexts)
+
+    def test_unknown_simulator_is_a_flow_error(self):
+        from repro.flow.pipeline import FlowError
+
+        flow = _sbox_flow("verilator")
+        with pytest.raises(FlowError, match="verilator"):
+            flow.traces()
+
+    def test_assessment_stream_is_backend_independent(self):
+        results = {}
+        for simulator in ("event", "bitslice"):
+            flow = _sbox_flow(simulator)
+            flow.config = flow.config.replace(
+                assessment=flow.config.assessment.replace(
+                    enabled=True, traces_per_class=200
+                )
+            )
+            results[simulator] = flow.result("assessment")
+        assert (
+            results["event"].details["ttest_max_abs_t"]
+            == results["bitslice"].details["ttest_max_abs_t"]
+        )
+
+    def test_store_keys_ignore_the_simulator(self, tmp_path):
+        from repro.engine.runner import trace_store_record
+        from repro.engine.store import content_key
+
+        keys = {
+            simulator: content_key(trace_store_record(_sbox_flow(simulator)))
+            for simulator in ("event", "bitslice")
+        }
+        assert keys["event"] == keys["bitslice"]
+
+    def test_bitslice_run_hits_the_event_backends_store_entry(self, tmp_path):
+        store = str(tmp_path / "store")
+        first = _sbox_flow(
+            "event", ExecutionConfig(store=store, shard_size=100)
+        )
+        assert first.result("traces").details["store"] == "miss"
+        second = _sbox_flow(
+            "bitslice", ExecutionConfig(store=store, shard_size=100)
+        )
+        assert second.result("traces").details["store"] == "hit"
+        assert np.array_equal(first.traces().traces, second.traces().traces)
+
+
+class TestConfigValidation:
+    def test_simulator_must_be_non_empty(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(simulator="")
+
+    def test_per_trace_loop_rejects_other_simulators(self):
+        with pytest.raises(ConfigError, match="batch_size"):
+            CampaignConfig(batch_size=None, simulator="bitslice")
+
+    def test_per_trace_event_loop_still_allowed(self):
+        assert CampaignConfig(batch_size=None).simulator == "event"
+
+    def test_round_trips_through_dict(self):
+        config = CampaignConfig(simulator="bitslice")
+        assert CampaignConfig.from_dict(config.to_dict()).simulator == "bitslice"

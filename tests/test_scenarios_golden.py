@@ -112,6 +112,92 @@ def test_two_sbox_round_circuit_exhaustive():
         )
 
 
+def _bitsliced_values(circuit, scenario, plaintexts):
+    """Evaluate ``circuit`` on all ``plaintexts`` through the compiled
+    bit-sliced kernel (64 vectors per uint64 word), returning the packed
+    output words."""
+    from repro.kernel import compile_circuit
+    from repro.power.trace import nibble_matrix
+
+    program = compile_circuit(circuit)
+    matrix = nibble_matrix(
+        np.asarray(plaintexts, dtype=np.uint64), scenario.input_width
+    )
+    outputs = program.evaluate_outputs(matrix)
+    values = np.zeros(len(plaintexts), dtype=np.uint64)
+    for bit in range(scenario.output_width):
+        values |= outputs[f"y{bit}"].astype(np.uint64) << np.uint64(bit)
+    return values
+
+
+@pytest.mark.parametrize("name", sorted(WIDE_CASES))
+def test_wide_circuit_matches_golden_reference_bitsliced(name):
+    # The fast (per-push) counterpart of the slow sampled test below:
+    # the compiled kernel evaluates hundreds of vectors in bulk, so wide
+    # slices get full conformance coverage on every CI run.
+    params, key = WIDE_CASES[name]
+    scenario = make_scenario(name, key=key, params=params)
+    circuit = _build_circuit(scenario)
+    rng = np.random.default_rng(20050307)
+    samples = rng.integers(0, 1 << scenario.input_width, size=256)
+    golden = np.array(
+        [scenario.encrypt(int(p)) for p in samples], dtype=np.uint64
+    )
+    assert np.array_equal(_bitsliced_values(circuit, scenario, samples), golden)
+
+
+def test_full_width_round_circuit_matches_golden_reference_bitsliced():
+    # The full 16-S-box (64-bit) PRESENT round, mapped to gates and
+    # checked against the published round function on 512 samples --
+    # cheap enough for every push thanks to the bit-sliced evaluator.
+    scenario = make_scenario(
+        "present_round", key=0x0123_4567_89AB_CDEF, params={"sboxes": 16}
+    )
+    circuit = _build_circuit(scenario)
+    rng = np.random.default_rng(7)
+    samples = rng.integers(0, 1 << 62, size=512).astype(np.uint64)
+    golden = np.array(
+        [scenario.encrypt(int(p)) for p in samples], dtype=np.uint64
+    )
+    assert np.array_equal(_bitsliced_values(circuit, scenario, samples), golden)
+
+
+def test_wide_and_multi_round_campaigns_run_bitsliced():
+    # Per-push campaign coverage of the widths the event backend made
+    # impractically slow: a full-width round and a multi-round datapath,
+    # traced through the compiled kernel and pinned to the reference
+    # backend trace-for-trace.
+    from repro.flow import CampaignConfig, DesignFlow, FlowConfig, ScenarioConfig
+
+    cases = [
+        ("present_round", {"sboxes": 16}, 0x0123_4567_89AB_CDEF),
+        ("present_rounds", {"sboxes": 2, "rounds": 3}, 0x5C),
+    ]
+    for name, params, key in cases:
+        traces = {}
+        for simulator in ("event", "bitslice"):
+            flow = DesignFlow(
+                None,
+                FlowConfig(
+                    name=f"{name}_bitslice_ci",
+                    campaign=CampaignConfig(
+                        key=key,
+                        scenario=name,
+                        trace_count=96,
+                        simulator=simulator,
+                    ),
+                    scenario=ScenarioConfig(params=params),
+                ),
+            )
+            traces[simulator] = flow.traces()
+        assert np.array_equal(
+            traces["event"].traces, traces["bitslice"].traces
+        ), f"{name} campaign must be bit-identical across simulators"
+        assert np.array_equal(
+            traces["event"].plaintexts, traces["bitslice"].plaintexts
+        )
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(WIDE_CASES))
 def test_wide_circuit_matches_golden_reference_on_samples(name):
