@@ -85,6 +85,7 @@ from .flow import (
     FlowReport,
     FlowResult,
     LayoutConfig,
+    ObservabilityConfig,
     ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
@@ -107,8 +108,15 @@ from .kernel import (
     get_simulator,
     register_simulator,
 )
+from .obs import (
+    Observer,
+    get_observer,
+    register_sink,
+    summarize_trace_file,
+    use_observer,
+)
 
-__version__ = "2.5.0"
+__version__ = "2.6.0"
 
 
 def acquire_circuit_traces(*args, **kwargs):
@@ -147,6 +155,7 @@ __all__ = [
     "CampaignConfig",
     "AnalysisConfig",
     "AssessmentConfig",
+    "ObservabilityConfig",
     "register_technology",
     "register_gate_style",
     "register_attack",
@@ -163,6 +172,12 @@ __all__ = [
     "compile_circuit",
     "register_simulator",
     "get_simulator",
+    # obs (observability)
+    "Observer",
+    "get_observer",
+    "use_observer",
+    "register_sink",
+    "summarize_trace_file",
     # assess (leakage assessment)
     "StreamingMoments",
     "TVLAResult",

@@ -9,12 +9,21 @@ script by ``pyproject.toml``):
   gate_style=sabl,cvsl --axis noise_std=0,0.01 --axis
   scenario=sbox,present_round``) across worker processes, sharing one
   artifact store, and print/save the sweep report;
-* ``repro store`` -- inspect (``ls``) or empty (``clear``) an artifact
-  store.
+* ``repro store`` -- inspect (``ls``), count (``stats``) or empty
+  (``clear``) an artifact store;
+* ``repro trace`` -- aggregate a JSONL event log (written with
+  ``--trace``) into per-span timing, counter and per-cell tables.
 
 Axis and ``--set`` values parse as JSON when possible (``0.01`` ->
 float, ``[1,2]`` -> list) and fall back to plain strings (``sabl``), so
 the shell syntax stays unquoted for the common cases.
+
+Observability flags are shared by ``run`` and ``sweep``: ``--trace
+FILE`` appends every event to a JSONL log, ``--progress`` (or ``-v``)
+streams progress lines to stderr, ``-v``/``-q`` raise and lower the
+console detail.  ``--json -`` writes the machine-readable report to
+stdout and moves every human-readable line to stderr, so piped output
+stays clean JSON.
 """
 
 from __future__ import annotations
@@ -22,12 +31,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..flow.config import ConfigError, FlowConfig
 from ..flow.pipeline import DesignFlow, FlowError
 from ..flow.registry import UnknownBackendError
+from ..obs import ObsError, observer_from_config, summarize_trace_file, use_observer
 from ..reporting.tables import format_table
+from ..reporting.trace import format_trace_summary
 from .store import ArtifactStore
 from .sweep import _apply_override, run_sweep
 
@@ -95,6 +106,32 @@ def _execution_overrides(args: argparse.Namespace, config: FlowConfig) -> FlowCo
     return config
 
 
+def _obs_overrides(args: argparse.Namespace, config: FlowConfig) -> FlowConfig:
+    """Fold the observability flags into the config's obs section."""
+    obs = config.obs
+    overrides: Dict[str, Any] = {}
+    if getattr(args, "trace", None):
+        overrides["trace"] = args.trace
+    verbose = getattr(args, "verbose", 0)
+    quiet = getattr(args, "quiet", 0)
+    if getattr(args, "progress", False) or verbose:
+        overrides["progress"] = True
+    if verbose or quiet:
+        overrides["verbosity"] = max(0, min(3, obs.verbosity + verbose - quiet))
+    if overrides:
+        config = config.replace(obs=obs.replace(**overrides))
+    return config
+
+
+def _human_stream(args: argparse.Namespace) -> TextIO:
+    """Where human-readable output goes.
+
+    ``--json -`` claims stdout for the machine-readable report, so every
+    table and status line moves to stderr.
+    """
+    return sys.stderr if getattr(args, "json", None) == "-" else sys.stdout
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--config", metavar="FILE", help="base FlowConfig as a JSON file"
@@ -148,7 +185,36 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--mmap", action="store_true", help="memory-map cached trace arrays"
     )
     parser.add_argument(
-        "--json", metavar="FILE", help="also write the report as JSON to FILE"
+        "--json",
+        metavar="FILE",
+        help="also write the report as JSON to FILE; '-' writes JSON to "
+        "stdout and moves the human-readable output to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="append every observability event (stages, shards, store "
+        "accesses, kernel meters) to FILE as JSON lines; summarize with "
+        "`repro trace summary FILE`",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream human-readable progress lines to stderr while running",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more progress detail (implies --progress; repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="less progress detail (repeatable)",
     )
 
 
@@ -182,32 +248,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     store = commands.add_parser("store", help="inspect or empty an artifact store")
-    store.add_argument("action", choices=("ls", "clear"))
+    store.add_argument("action", choices=("ls", "stats", "clear"))
     store.add_argument("--store", required=True, metavar="DIR")
+
+    trace = commands.add_parser(
+        "trace", help="aggregate a JSONL event log written with --trace"
+    )
+    trace.add_argument("action", choices=("summary",))
+    trace.add_argument("file", metavar="FILE", help="the JSONL event log")
+    trace.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the aggregate as JSON to FILE ('-' for stdout)",
+    )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _execution_overrides(args, _base_config(args))
+    config = _obs_overrides(args, _execution_overrides(args, _base_config(args)))
+    out = _human_stream(args)
     flow = DesignFlow(None, config)
-    report = flow.run()
-    print(report.format_summary())
+    observer = observer_from_config(config.obs)
+    try:
+        with use_observer(observer):
+            report = flow.run()
+    finally:
+        observer.close()
+    print(report.format_summary(), file=out)
     if "layout" in report and report["layout"].value is not None:
-        print()
-        print(report.format_layout())
+        print(file=out)
+        print(report.format_layout(), file=out)
     if "assessment" in report:
-        print()
-        print(report.format_assessment())
-    if args.json:
+        print(file=out)
+        print(report.format_assessment(), file=out)
+    if args.json == "-":
+        sys.stdout.write(report.to_json())
+        sys.stdout.write("\n")
+    elif args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
             handle.write("\n")
-        print(f"\nreport written to {args.json}")
+        print(f"\nreport written to {args.json}", file=out)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    config = _base_config(args)
+    config = _obs_overrides(args, _base_config(args))
+    out = _human_stream(args)
     axes: Dict[str, List[Any]] = {}
     for axis in args.axis or []:
         path, raw = _parse_assignment(axis, "--axis")
@@ -221,19 +308,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.shard_size is not None:
         execution = execution.replace(shard_size=args.shard_size)
     config = config.replace(execution=execution)
-    report = run_sweep(
-        config,
-        axes,
-        workers=args.workers if args.workers is not None else 1,
-        executor=args.executor,
-        store=args.store,
-        store_mmap=bool(args.mmap),
-        stages=stages,
-    )
-    print(report.format_table())
-    if args.json:
+    observer = observer_from_config(config.obs)
+    try:
+        with use_observer(observer):
+            report = run_sweep(
+                config,
+                axes,
+                workers=args.workers if args.workers is not None else 1,
+                executor=args.executor,
+                store=args.store,
+                store_mmap=bool(args.mmap),
+                stages=stages,
+            )
+    finally:
+        observer.close()
+    print(report.format_table(), file=out)
+    if args.json == "-":
+        sys.stdout.write(report.to_json())
+        sys.stdout.write("\n")
+    elif args.json:
         report.save(args.json)
-        print(f"\nsweep report written to {args.json}")
+        print(f"\nsweep report written to {args.json}", file=out)
     return 0
 
 
@@ -242,6 +337,20 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        print(
+            format_table(
+                ["stat", "value"],
+                [
+                    ["entries", stats["entries"]],
+                    ["bytes", stats["bytes"]],
+                    ["megabytes", f"{stats['bytes'] / 1e6:.2f}"],
+                ],
+                title=f"Store {store.root}",
+            )
+        )
         return 0
     entries = store.entries()
     rows = []
@@ -270,14 +379,33 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    summary = summarize_trace_file(args.file)
+    print(format_trace_summary(summary), file=_human_stream(args))
+    if args.json == "-":
+        sys.stdout.write(json.dumps(summary.to_dict(), indent=2))
+        sys.stdout.write("\n")
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"\nsummary written to {args.json}", file=_human_stream(args))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console-script entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"run": _cmd_run, "sweep": _cmd_sweep, "store": _cmd_store}
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "store": _cmd_store,
+        "trace": _cmd_trace,
+    }
     try:
         return handlers[args.command](args)
-    except (ConfigError, FlowError, UnknownBackendError, OSError) as error:
+    except (ConfigError, FlowError, UnknownBackendError, ObsError, OSError) as error:
         print(f"repro {args.command}: {error}", file=sys.stderr)
         return 2
 

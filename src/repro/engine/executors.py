@@ -24,6 +24,7 @@ import multiprocessing
 from typing import Callable, List, Sequence, TypeVar
 
 from ..flow.registry import Registry
+from ..obs import get_observer
 
 __all__ = [
     "Executor",
@@ -87,8 +88,12 @@ class ProcessPoolExecutor(Executor):
             return []
         if self.workers == 1:
             return [fn(payload) for payload in payloads]
-        with multiprocessing.Pool(min(self.workers, len(payloads))) as pool:
-            return pool.map(fn, payloads, chunksize=1)
+        workers = min(self.workers, len(payloads))
+        with get_observer().span(
+            "executor.map", backend="process", workers=workers, payloads=len(payloads)
+        ):
+            with multiprocessing.Pool(workers) as pool:
+                return pool.map(fn, payloads, chunksize=1)
 
 
 #: Executor factories, keyed by backend name: ``(workers) -> Executor``.

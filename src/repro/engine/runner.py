@@ -27,6 +27,7 @@ import numpy as np
 
 from ..flow.config import ExecutionConfig, FlowConfig
 from ..flow.pipeline import DesignFlow, FlowError
+from ..obs import capture_events
 from .executors import SerialExecutor, get_executor
 from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
 
@@ -90,18 +91,35 @@ def _flow_from_spec(
 
 def _trace_shard_task(
     payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], Shard]
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Executed on a pool worker: acquire one trace shard."""
+) -> Tuple[np.ndarray, np.ndarray, Optional[List[Dict[str, Any]]]]:
+    """Executed on a pool worker: acquire one trace shard.
+
+    Observability events are buffered and returned *with* the shard
+    payload (see :func:`repro.obs.capture_events`): workers cannot share
+    the parent's sinks, and piggybacking on the result keeps the
+    executor protocol -- and with it the determinism contract --
+    untouched.
+    """
     spec, shard = payload
-    return _flow_from_spec(spec)._acquire_trace_shard(shard)
+    flow = _flow_from_spec(spec)
+    with capture_events(flow.config.obs.active) as (_, events):
+        plaintexts, traces = flow._acquire_trace_shard(shard)
+    return plaintexts, traces, events
 
 
 def _assessment_shard_task(
     payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], AssessmentShard]
-) -> Tuple[Dict[str, Any], int]:
-    """Executed on a pool worker: stream one assessment shard."""
+) -> Tuple[Dict[str, Any], int, Optional[List[Dict[str, Any]]]]:
+    """Executed on a pool worker: stream one assessment shard.
+
+    Like :func:`_trace_shard_task`, buffered observability events ride
+    back with the result.
+    """
     spec, shard = payload
-    return _flow_from_spec(spec)._run_assessment_shard(shard)
+    flow = _flow_from_spec(spec)
+    with capture_events(flow.config.obs.active) as (_, events):
+        methods, chunks = flow._run_assessment_shard(shard)
+    return methods, chunks, events
 
 
 # ------------------------------------------------------------------ map-reduce
@@ -127,7 +145,18 @@ def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
             return [flow._acquire_trace_shard(shard) for shard in shards]
         return [flow._run_assessment_shard(shard) for shard in shards]
     spec = _flow_spec(flow)
-    return executor.map(task, [(spec, shard) for shard in shards])
+    results = executor.map(task, [(spec, shard) for shard in shards])
+    # Workers return ``(*payload, events)``; replay the buffered events
+    # into the parent's observer (in shard order) and hand the reduce
+    # the bare payloads, identical in shape to the serial path.
+    obs = flow._observer()
+    stripped: List[Any] = []
+    for result in results:
+        *payload, events = result
+        if events:
+            obs.replay(events)
+        stripped.append(tuple(payload))
+    return stripped
 
 
 def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
@@ -144,7 +173,13 @@ def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
     shards = plan_shards(
         campaign.trace_count, execution.effective_shard_size, campaign.seed
     )
-    parts = _map_shards(flow, _trace_shard_task, shards)
+    with flow._observer().span(
+        "engine.traces",
+        shards=len(shards),
+        executor=execution.resolved_executor,
+        workers=execution.workers,
+    ):
+        parts = _map_shards(flow, _trace_shard_task, shards)
     plaintexts = np.concatenate([part[0] for part in parts])
     traces = np.concatenate([part[1] for part in parts])
     trace_set = TraceSet(
@@ -180,7 +215,13 @@ def run_assessment_campaign(
     shards = plan_assessment_shards(
         config.traces_per_class, execution.effective_shard_size, config.seed
     )
-    results = _map_shards(flow, _assessment_shard_task, shards)
+    with flow._observer().span(
+        "engine.assessment",
+        shards=len(shards),
+        executor=execution.resolved_executor,
+        workers=execution.workers,
+    ):
+        results = _map_shards(flow, _assessment_shard_task, shards)
     methods, chunks = results[0]
     for other_methods, other_chunks in results[1:]:
         chunks += other_chunks

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from ..obs import get_observer
 from ..power.trace import TraceSet
 
 __all__ = ["ArtifactStore", "content_key"]
@@ -70,6 +71,22 @@ class ArtifactStore:
     def __init__(self, root: os.PathLike, mmap: bool = False) -> None:
         self.root = Path(root)
         self.mmap = mmap
+        # Access counters since this handle was opened (not persisted);
+        # ``stats()`` reports them and the observer mirrors them as
+        # ``store.hit`` / ``store.miss`` / ``store.write`` events.
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.bytes_written = 0
+
+    def _count(self, hit: bool, kind: str) -> None:
+        obs = get_observer()
+        if hit:
+            self.hits += 1
+            obs.counter("store.hit", kind=kind)
+        else:
+            self.misses += 1
+            obs.counter("store.miss", kind=kind)
 
     # ------------------------------------------------------------------ paths
 
@@ -103,6 +120,9 @@ class ArtifactStore:
                 np.save(staging / f"{name}.npy", np.ascontiguousarray(array))
             with open(staging / "meta.json", "w", encoding="utf-8") as handle:
                 json.dump(meta, handle, indent=2, sort_keys=True)
+            entry_bytes = sum(
+                path.stat().st_size for path in staging.iterdir() if path.is_file()
+            )
             try:
                 os.replace(staging, target)
             except OSError:
@@ -115,6 +135,13 @@ class ArtifactStore:
         except Exception:
             shutil.rmtree(staging, ignore_errors=True)
             raise
+        self.writes += 1
+        self.bytes_written += entry_bytes
+        obs = get_observer()
+        if obs.active:
+            obs.counter(
+                "store.write", kind=str(meta.get("kind", "json")), bytes=entry_bytes
+            )
 
     # ----------------------------------------------------------------- traces
 
@@ -155,6 +182,7 @@ class ArtifactStore:
         """The cached trace set under ``key``, or ``None`` on a miss."""
         meta = self._read_meta(key)
         if meta is None or meta.get("kind") != "traces":
+            self._count(hit=False, kind="traces")
             return None
         directory = self.path(key)
         mmap_mode = "r" if self.mmap else None
@@ -162,7 +190,9 @@ class ArtifactStore:
             plaintexts = np.load(directory / "plaintexts.npy", mmap_mode=mmap_mode)
             traces = np.load(directory / "traces.npy", mmap_mode=mmap_mode)
         except (OSError, ValueError):
+            self._count(hit=False, kind="traces")
             return None
+        self._count(hit=True, kind="traces")
         return TraceSet(
             plaintexts=plaintexts,
             traces=traces,
@@ -197,7 +227,9 @@ class ArtifactStore:
         """The cached JSON payload under ``key``, or ``None`` on a miss."""
         meta = self._read_meta(key)
         if meta is None or meta.get("kind") != kind:
+            self._count(hit=False, kind=kind)
             return None
+        self._count(hit=True, kind=kind)
         return meta.get("payload")
 
     # ------------------------------------------------------------ maintenance
@@ -224,6 +256,23 @@ class ArtifactStore:
             for path in self.root.rglob("*")
             if path.is_file()
         )
+
+    def stats(self) -> Dict[str, Any]:
+        """Store state and access counters of this handle.
+
+        ``entries``/``bytes`` describe the on-disk store as a whole;
+        ``hits``/``misses``/``writes``/``bytes_written`` count only the
+        accesses made through this handle since it was constructed.
+        """
+        return {
+            "root": str(self.root),
+            "entries": len(self.entries()),
+            "bytes": self.size_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "bytes_written": self.bytes_written,
+        }
 
     def clear(self) -> int:
         """Delete every artifact; returns the number removed."""

@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..flow.config import CampaignConfig, ConfigError, FlowConfig
 from ..flow.pipeline import DesignFlow
+from ..obs import capture_events, get_observer, observer_from_config, use_observer
 from ..reporting.tables import format_table
 from .executors import get_executor
 
@@ -108,12 +109,20 @@ def _attack_record(outcome: Any) -> Dict[str, Any]:
 def _sweep_cell_task(
     payload: Tuple[str, str, Optional[Tuple[str, ...]]]
 ) -> Dict[str, Any]:
-    """Executed per cell (possibly on a pool worker): run one flow."""
+    """Executed per cell (possibly on a pool worker): run one flow.
+
+    Observability events are buffered (:func:`repro.obs.capture_events`)
+    and returned inside the record as ``"obs_events"``;
+    :func:`run_sweep` pops and replays them into the sweep's observer.
+    """
     name, config_json, stages = payload
     config = FlowConfig.from_dict(json.loads(config_json))
     flow = DesignFlow(None, config)
     start = time.perf_counter()
-    report = flow.run(list(stages) if stages is not None else None)
+    with capture_events(config.obs.active) as (obs, events):
+        with obs.span("sweep.cell", cell=name):
+            report = flow.run(list(stages) if stages is not None else None)
+        obs.counter("sweep.cells_done", 1, cell=name)
     elapsed = time.perf_counter() - start
     record: Dict[str, Any] = {
         "cell": name,
@@ -122,6 +131,8 @@ def _sweep_cell_task(
             result.stage: result.to_dict() for result in report
         },
     }
+    if events:
+        record["obs_events"] = events
     if "analysis" in report:
         record["analysis"] = {
             attack: _attack_record(outcome)
@@ -238,13 +249,29 @@ def run_sweep(
                 tuple(stages) if stages is not None else None,
             )
         )
-    start = time.perf_counter()
     pool = get_executor(
         executor if executor is not None else ("process" if workers > 1 else "serial"),
         workers,
     )
-    records = pool.map(_sweep_cell_task, payloads)
-    elapsed = time.perf_counter() - start
+    # A host-installed observer wins; otherwise the sweep builds one
+    # from the base config's obs section (and owns its lifecycle).
+    current = get_observer()
+    obs = current if current.active else observer_from_config(base.obs)
+    owned = obs is not current
+    start = time.perf_counter()
+    try:
+        with use_observer(obs), obs.span(
+            "sweep", cells=len(payloads), workers=workers
+        ):
+            records = pool.map(_sweep_cell_task, payloads)
+            elapsed = time.perf_counter() - start
+            for record in records:
+                events = record.pop("obs_events", None)
+                if events:
+                    obs.replay(events)
+    finally:
+        if owned:
+            obs.close()
     for (name, overrides, _config), record in zip(cells, records):
         record["overrides"] = dict(overrides)
     return SweepReport(axes, records, elapsed)

@@ -24,6 +24,7 @@ from .config import (
     ExecutionConfig,
     FlowConfig,
     LayoutConfig,
+    ObservabilityConfig,
     ScenarioConfig,
     SynthesisConfig,
     TechnologyConfig,
@@ -65,6 +66,7 @@ __all__ = [
     "AnalysisConfig",
     "AssessmentConfig",
     "ExecutionConfig",
+    "ObservabilityConfig",
     "FlowConfig",
     # registry
     "Registry",

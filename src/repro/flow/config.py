@@ -34,6 +34,7 @@ __all__ = [
     "AnalysisConfig",
     "AssessmentConfig",
     "ExecutionConfig",
+    "ObservabilityConfig",
     "FlowConfig",
 ]
 
@@ -610,6 +611,55 @@ class ExecutionConfig(_ConfigBase):
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig(_ConfigBase):
+    """Where the flow's tracing, metrics and progress events go.
+
+    Observability never changes results: the engine excludes this
+    config from artifact-store keys, workers ship their events back as
+    side-channel payloads, and the default (inactive) config makes
+    every instrumented path a no-op.  A traced run's traces and
+    verdicts are bit-identical to an untraced one.
+
+    Attributes:
+        trace: path of the JSONL event log (the ``jsonl`` sink); every
+            span, counter and histogram event of the run is appended as
+            one JSON object per line.  ``None`` disables the file sink.
+        progress: stream human-readable progress lines to stderr (the
+            ``console`` sink).
+        verbosity: console detail level 0..3 -- 0 silent, 1 stage and
+            campaign completions, 2 adds shard/store/kernel detail,
+            3 everything including span starts.  The CLI's ``-v``/``-q``
+            flags map onto this.
+        sinks: additional registered sink names
+            (:func:`repro.obs.register_sink`) to attach beyond the two
+            implied by ``trace`` and ``progress``.
+    """
+
+    trace: Optional[str] = None
+    progress: bool = False
+    verbosity: int = 1
+    sinks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.trace is not None:
+            trace = os.fspath(self.trace)
+            if not trace:
+                raise ConfigError("trace must be a non-empty path or None")
+            object.__setattr__(self, "trace", trace)
+        if not 0 <= self.verbosity <= 3:
+            raise ConfigError(f"verbosity must be in 0..3, got {self.verbosity}")
+        object.__setattr__(self, "sinks", _as_tuple(self.sinks))
+        bad = sorted({str(name) for name in self.sinks if not name})
+        if bad or any(not isinstance(name, str) for name in self.sinks):
+            raise ConfigError("sink names must be non-empty strings")
+
+    @property
+    def active(self) -> bool:
+        """True when the flow builds an observer at all."""
+        return self.trace is not None or self.progress or bool(self.sinks)
+
+
+@dataclass(frozen=True)
 class FlowConfig(_ConfigBase):
     """Aggregate configuration of a :class:`~repro.flow.pipeline.DesignFlow`."""
 
@@ -623,6 +673,7 @@ class FlowConfig(_ConfigBase):
     analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
     assessment: AssessmentConfig = field(default_factory=AssessmentConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    obs: ObservabilityConfig = field(default_factory=ObservabilityConfig)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -640,4 +691,5 @@ _NESTED_CONFIG_FIELDS = {
     ("FlowConfig", "analysis"): AnalysisConfig,
     ("FlowConfig", "assessment"): AssessmentConfig,
     ("FlowConfig", "execution"): ExecutionConfig,
+    ("FlowConfig", "obs"): ObservabilityConfig,
 }

@@ -44,6 +44,7 @@ from ..power.trace import (
     acquire_circuit_traces,
     acquire_table_model_traces,
 )
+from ..obs import get_observer, observer_from_config, use_observer
 from ..sabl.circuit import DifferentialCircuit, map_expressions
 from .config import FlowConfig
 from .registry import (
@@ -114,6 +115,8 @@ class DesignFlow:
         self._expression_spec = dict(expressions) if expressions is not None else None
         self._results: Dict[str, FlowResult] = {}
         self._program: Optional[Any] = None
+        self._config_observer: Optional[Any] = None
+        self._store_handle: Optional[Any] = None
 
     @classmethod
     def sbox(
@@ -183,18 +186,43 @@ class DesignFlow:
             return ()
         return _DEPENDENCIES[stage]
 
+    def _observer(self):
+        """The flow's :class:`repro.obs.Observer`.
+
+        A process-wide observer (installed by the CLI or a host through
+        :func:`repro.obs.use_observer`) wins; otherwise one is built
+        lazily -- and cached for the flow's lifetime -- from
+        :attr:`~repro.flow.config.FlowConfig.obs`.  Inactive configs get
+        the shared null observer, keeping the untraced path a no-op.
+        """
+        current = get_observer()
+        if current.active:
+            return current
+        if self._config_observer is None:
+            self._config_observer = observer_from_config(self.config.obs)
+        return self._config_observer
+
     def result(self, stage: str) -> FlowResult:
         """The (lazily computed, cached) :class:`FlowResult` of a stage."""
         if stage not in STAGES:
             raise FlowError(f"unknown stage {stage!r}; expected one of {STAGES}")
         cached = self._results.get(stage)
         if cached is not None:
+            self._observer().counter("stage.cache_hit", stage=stage)
             return cached
         for dependency in self._stage_dependencies(stage):
             self.result(dependency)
         compute = getattr(self, f"_compute_{stage}")
+        obs = self._observer()
         start = time.perf_counter()
-        value, details = compute()
+        if obs.active:
+            # Install the observer for the stage body so deep layers --
+            # the artifact store, the kernels, the engine -- reach it
+            # through ``get_observer()`` without plumbing.
+            with use_observer(obs), obs.span(f"stage.{stage}", flow=self.config.name):
+                value, details = compute()
+        else:
+            value, details = compute()
         elapsed = time.perf_counter() - start
         result = FlowResult(stage=stage, value=value, details=details, elapsed=elapsed)
         self._results[stage] = result
@@ -619,7 +647,14 @@ class DesignFlow:
         Returns the shard's ``(plaintexts, traces)`` arrays -- the
         picklable payload the runner concatenates in shard order.
         """
-        traces = self._acquire_campaign(shard.count, shard.seed_sequence)
+        obs = self._observer()
+        start = time.perf_counter()
+        with obs.span("shard.traces", index=shard.index, count=shard.count):
+            traces = self._acquire_campaign(shard.count, shard.seed_sequence)
+        if obs.active:
+            obs.histogram(
+                "shard.duration_s", time.perf_counter() - start, stage="traces"
+            )
         return traces.plaintexts, traces.traces
 
     def _trace_stage_details(self, traces: TraceSet) -> Dict[str, Any]:
@@ -642,13 +677,22 @@ class DesignFlow:
         return details
 
     def _artifact_store(self):
-        """The configured :class:`repro.engine.ArtifactStore`, or ``None``."""
+        """The configured :class:`repro.engine.ArtifactStore`, or ``None``.
+
+        One handle per flow, so the store's session counters (hits,
+        misses, writes -- see :meth:`repro.engine.store.ArtifactStore.stats`)
+        accumulate across every stage of this flow.
+        """
         execution = self.config.execution
         if execution.store is None:
             return None
-        from ..engine.store import ArtifactStore
+        if self._store_handle is None:
+            from ..engine.store import ArtifactStore
 
-        return ArtifactStore(execution.store, mmap=execution.store_mmap)
+            self._store_handle = ArtifactStore(
+                execution.store, mmap=execution.store_mmap
+            )
+        return self._store_handle
 
     def _compute_traces(self) -> Tuple[TraceSet, Dict[str, Any]]:
         campaign = self.config.campaign
@@ -914,14 +958,26 @@ class DesignFlow:
         with ``merge()`` in shard order (see
         :func:`repro.engine.runner.run_assessment_campaign`).
         """
-        methods = self._fresh_assessment_methods()
-        chunks = self._stream_assessment(
-            methods,
-            self._assessment_noise_chain(),
-            seed=shard.seed_sequence,
-            fixed_budget=shard.fixed_count,
-            random_budget=shard.random_count,
-        )
+        obs = self._observer()
+        start = time.perf_counter()
+        with obs.span(
+            "shard.assessment",
+            index=shard.index,
+            fixed=shard.fixed_count,
+            random=shard.random_count,
+        ):
+            methods = self._fresh_assessment_methods()
+            chunks = self._stream_assessment(
+                methods,
+                self._assessment_noise_chain(),
+                seed=shard.seed_sequence,
+                fixed_budget=shard.fixed_count,
+                random_budget=shard.random_count,
+            )
+        if obs.active:
+            obs.histogram(
+                "shard.duration_s", time.perf_counter() - start, stage="assessment"
+            )
         return methods, chunks
 
     #: Reconstructors of cached assessment results, keyed by the

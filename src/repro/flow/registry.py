@@ -25,8 +25,9 @@ Registering a backend makes it addressable from configs immediately::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Generic, Sequence, Tuple, TypeVar
+from typing import Callable, Sequence, Tuple
 
+from ..registry import DuplicateBackendError, Registry, UnknownBackendError
 from ..electrical import energy as _energy
 from ..electrical.technology import (
     Technology,
@@ -67,85 +68,9 @@ __all__ = [
     "get_assessment",
 ]
 
-T = TypeVar("T")
-
-
-class UnknownBackendError(KeyError):
-    """Lookup of a backend name that was never registered."""
-
-    def __init__(self, kind: str, name: str, available: Sequence[str]) -> None:
-        self.kind = kind
-        self.name = name
-        self.available = tuple(available)
-        super().__init__(
-            f"unknown {kind} {name!r}; available: {', '.join(self.available) or '(none)'}"
-        )
-
-    def __str__(self) -> str:  # KeyError would quote the message
-        return self.args[0]
-
-
-class DuplicateBackendError(ValueError):
-    """Registration under a name that is already taken."""
-
-    def __init__(self, kind: str, name: str) -> None:
-        self.kind = kind
-        self.name = name
-        super().__init__(
-            f"{kind} {name!r} is already registered; pass overwrite=True to replace it"
-        )
-
-
-class Registry(Generic[T]):
-    """A small name -> backend mapping with helpful error messages."""
-
-    def __init__(self, kind: str) -> None:
-        self.kind = kind
-        self._entries: Dict[str, T] = {}
-
-    def register(self, name: str, backend: T, overwrite: bool = False) -> T:
-        """Register ``backend`` under ``name``; returns the backend.
-
-        Raises :class:`DuplicateBackendError` unless ``overwrite`` is
-        passed explicitly.
-        """
-        if not name:
-            raise ValueError(f"{self.kind} name must be non-empty")
-        if not overwrite and name in self._entries:
-            raise DuplicateBackendError(self.kind, name)
-        self._entries[name] = backend
-        return backend
-
-    def get(self, name: str) -> T:
-        """Backend registered under ``name``.
-
-        Raises :class:`UnknownBackendError` (listing the available
-        names) when the name is unknown.
-        """
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise UnknownBackendError(self.kind, name, self.names()) from None
-
-    def unregister(self, name: str) -> T:
-        """Remove and return the backend registered under ``name``."""
-        try:
-            return self._entries.pop(name)
-        except KeyError:
-            raise UnknownBackendError(self.kind, name, self.names()) from None
-
-    def names(self) -> Tuple[str, ...]:
-        """Sorted names of every registered backend."""
-        return tuple(sorted(self._entries))
-
-    def __contains__(self, name: object) -> bool:
-        return name in self._entries
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __repr__(self) -> str:
-        return f"Registry({self.kind!r}, names={list(self.names())})"
+# ``Registry``, ``UnknownBackendError`` and ``DuplicateBackendError``
+# moved to :mod:`repro.registry` (a leaf module, importable from below
+# the flow package); they are re-exported here unchanged.
 
 
 # ------------------------------------------------------------------ technologies

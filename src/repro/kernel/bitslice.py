@@ -31,12 +31,14 @@ so the two back-ends agree bit for bit on every trace.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..boolexpr.ast import And, Const, Expr, Not, Or, Var, Xor
+from ..obs import get_observer
 from ..sabl.simulator import GateTable
 from .pack import pack_bitplanes, unpack_bitplanes
 
@@ -397,9 +399,20 @@ class BitslicedCircuitEnergyModel:
             raise ValueError("batch_size must be positive")
         matrix = self._as_matrix(vectors)
         total = np.zeros(matrix.shape[0], dtype=float)
+        obs = get_observer()
+        tick = time.perf_counter() if obs.active else 0.0
         for start in range(0, matrix.shape[0], batch_size):
             stop = min(start + batch_size, matrix.shape[0])
             self._accumulate(matrix[start:stop], total[start:stop])
+        if obs.active and matrix.shape[0]:
+            elapsed = time.perf_counter() - tick
+            obs.counter("kernel.cycles", matrix.shape[0], simulator="bitslice")
+            if elapsed > 0:
+                obs.histogram(
+                    "kernel.traces_per_s",
+                    matrix.shape[0] / elapsed,
+                    simulator="bitslice",
+                )
         return total
 
     def _as_matrix(self, vectors) -> np.ndarray:

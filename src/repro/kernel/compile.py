@@ -13,12 +13,14 @@ flow's program across shards.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..electrical.technology import Technology, generic_180nm
+from ..obs import get_observer
 from ..sabl.circuit import DifferentialCircuit
 from ..sabl.simulator import GateTable, build_gate_tables
 
@@ -50,7 +52,15 @@ class CompiledProgram:
         if self._plan is None:
             from .bitslice import build_bitslice_plan
 
+            obs = get_observer()
+            tick = time.perf_counter() if obs.active else 0.0
             self._plan = build_bitslice_plan(self)
+            if obs.active:
+                obs.histogram(
+                    "kernel.plan_s",
+                    time.perf_counter() - tick,
+                    gates=len(self.tables),
+                )
         return self._plan
 
     def gate_count(self) -> int:
@@ -99,6 +109,8 @@ def compile_circuit(
     :class:`~repro.sabl.simulator.BatchedCircuitEnergyModel`.
     """
     technology = technology or generic_180nm()
+    obs = get_observer()
+    tick = time.perf_counter() if obs.active else 0.0
     tables = tuple(
         build_gate_tables(
             circuit,
@@ -108,6 +120,13 @@ def compile_circuit(
             net_loads=net_loads,
         )
     )
+    if obs.active:
+        obs.histogram(
+            "kernel.compile_s",
+            time.perf_counter() - tick,
+            gates=len(tables),
+            gate_style=gate_style,
+        )
     return CompiledProgram(
         circuit=circuit,
         technology=technology,

@@ -1,0 +1,92 @@
+"""Observability: structured tracing, metrics and progress events.
+
+``repro.obs`` gives the whole stack -- flow stages, engine shards, the
+artifact store, sweeps and the compiled kernels -- one way to say what
+it is doing: an :class:`Observer` that times :meth:`~Observer.span`
+sections, folds :meth:`~Observer.counter` / :meth:`~Observer.gauge` /
+:meth:`~Observer.histogram` updates into a live
+:class:`~repro.obs.metrics.MetricsRegistry`, and streams every event to
+pluggable sinks (:func:`register_sink`): a JSONL trace file, console
+progress lines on stderr, or anything a caller registers.
+
+The cardinal rule is *observation never changes the result*: events
+carry timestamps and durations as side-channels only, workers buffer
+their events and ship them back piggybacked on shard results (so the
+process executor stays deterministic), and the default
+:data:`NULL_OBSERVER` makes the untraced path a no-op.  A traced run's
+traces and verdicts are bit-identical to an untraced one -- pinned by
+test.
+
+Enable it from a flow config::
+
+    config = FlowConfig(obs=ObservabilityConfig(trace="events.jsonl"))
+
+or from the CLI::
+
+    repro sweep --axis sbox_bits=3,4 --trace events.jsonl --progress
+    repro trace summary events.jsonl
+"""
+
+from .core import (
+    NULL_OBSERVER,
+    Observer,
+    capture_events,
+    get_observer,
+    observer_from_config,
+    set_observer,
+    use_observer,
+)
+from .events import (
+    EVENT_KINDS,
+    METRIC_KINDS,
+    SCHEMA_VERSION,
+    SPAN_KINDS,
+    ObsError,
+    make_event,
+    validate_event,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import (
+    SINKS,
+    BufferSink,
+    ConsoleSink,
+    JsonlSink,
+    NullSink,
+    Sink,
+    get_sink,
+    register_sink,
+)
+from .summary import SpanStats, TraceSummary, summarize_events, summarize_trace_file
+
+__all__ = [
+    "Observer",
+    "NULL_OBSERVER",
+    "get_observer",
+    "set_observer",
+    "use_observer",
+    "capture_events",
+    "observer_from_config",
+    "ObsError",
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "SPAN_KINDS",
+    "METRIC_KINDS",
+    "make_event",
+    "validate_event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sink",
+    "NullSink",
+    "BufferSink",
+    "JsonlSink",
+    "ConsoleSink",
+    "SINKS",
+    "register_sink",
+    "get_sink",
+    "SpanStats",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_trace_file",
+]

@@ -1,0 +1,283 @@
+"""The observer: spans, metrics and the process-wide current instance.
+
+An :class:`Observer` is the one object instrumented code talks to.  It
+fans schema events (:mod:`repro.obs.events`) out to its sinks and folds
+metric updates into its live :class:`~repro.obs.metrics.MetricsRegistry`.
+The module also owns the *current* observer -- a process-global the
+deep layers (artifact store, kernels, executors) read with
+:func:`get_observer`, so instrumentation works without threading an
+observer argument through every call chain.
+
+The default current observer is :data:`NULL_OBSERVER`: ``active`` is
+False, every method is a no-op, and ``span`` returns one shared null
+context manager.  Hot paths guard with ``if obs.active:`` so the
+untraced configuration pays nothing beyond an attribute check -- the
+zero-overhead contract the bit-identity tests rely on.
+
+Three usage shapes:
+
+* the CLI (and any long-lived host) builds an observer from the flow's
+  :class:`~repro.flow.config.ObservabilityConfig` via
+  :func:`observer_from_config` and installs it with
+  :func:`use_observer` around the whole command;
+* a bare :class:`~repro.flow.DesignFlow` with an active obs config
+  builds (and caches) its own observer lazily;
+* engine workers wrap shard execution in :func:`capture_events`, which
+  buffers everything into a list that travels back piggybacked on the
+  shard result for the parent to :meth:`~Observer.replay`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .events import METRIC_KINDS, make_event
+from .metrics import MetricsRegistry
+from .sinks import BufferSink, NullSink, Sink, get_sink
+
+__all__ = [
+    "Observer",
+    "NULL_OBSERVER",
+    "get_observer",
+    "set_observer",
+    "use_observer",
+    "capture_events",
+    "observer_from_config",
+]
+
+
+class _NullSpan:
+    """The reusable no-op span of the null observer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One timed section; emits start/end/error events around its body."""
+
+    __slots__ = ("_observer", "name", "attrs", "_start")
+
+    def __init__(self, observer: "Observer", name: str, attrs: Dict[str, Any]) -> None:
+        self._observer = observer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        self._observer._emit("span.start", self.name, attrs=self.attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        duration = time.perf_counter() - self._start
+        if exc_type is None:
+            self._observer._emit(
+                "span.end", self.name, duration_s=duration, attrs=self.attrs
+            )
+        else:
+            self._observer._emit(
+                "span.error",
+                self.name,
+                duration_s=duration,
+                error=f"{exc_type.__name__}: {exc}",
+                attrs=self.attrs,
+            )
+        return False
+
+
+class Observer:
+    """Fans events out to sinks and keeps live metric aggregates.
+
+    ``active`` is True for every observer with at least one real sink;
+    the :data:`NULL_OBSERVER` singleton is the only inactive instance.
+    Observers are context managers closing their sinks on exit.
+    """
+
+    def __init__(self, sinks: Sequence[Sink], active: bool = True) -> None:
+        self._sinks: Tuple[Sink, ...] = tuple(sinks)
+        self.active = active and bool(self._sinks)
+        self.metrics = MetricsRegistry()
+        self._seq = 0
+        #: The process that built this observer.  Forked pool workers
+        #: inherit the parent's installed observer; comparing pids lets
+        #: :func:`capture_events` spot the stale copy and buffer instead
+        #: of emitting into sinks the parent will never see.
+        self.pid = os.getpid()
+
+    # ------------------------------------------------------------------- emit
+
+    def _emit(self, kind: str, name: str, **fields: Any) -> None:
+        event = make_event(kind, name, seq=self._seq, **fields)
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def span(self, name: str, **attrs: Any):
+        """Context manager timing a section; emits start/end/error events."""
+        if not self.active:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def counter(self, name: str, value: float = 1, **attrs: Any) -> None:
+        """Increment the counter ``name`` by ``value`` and emit the event."""
+        if not self.active:
+            return
+        self.metrics.counter(name).inc(value)
+        self._emit("counter", name, value=value, attrs=attrs)
+
+    def gauge(self, name: str, value: float, **attrs: Any) -> None:
+        """Set the gauge ``name`` to ``value`` and emit the event."""
+        if not self.active:
+            return
+        self.metrics.gauge(name).set(value)
+        self._emit("gauge", name, value=value, attrs=attrs)
+
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        """Observe ``value`` into the histogram ``name`` and emit the event."""
+        if not self.active:
+            return
+        self.metrics.histogram(name).observe(value)
+        self._emit("histogram", name, value=value, attrs=attrs)
+
+    # ----------------------------------------------------------------- replay
+
+    def replay(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Re-emit buffered worker events verbatim (ts/pid/seq preserved)
+        and fold their metric updates into this observer's registry."""
+        if not self.active:
+            return
+        for event in events:
+            kind = event.get("kind")
+            if kind in METRIC_KINDS:
+                value = event.get("value", 0)
+                if kind == "counter":
+                    self.metrics.counter(event["name"]).inc(value)
+                elif kind == "gauge":
+                    self.metrics.gauge(event["name"]).set(value)
+                else:
+                    self.metrics.histogram(event["name"]).observe(value)
+            for sink in self._sinks:
+                sink.emit(event)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Close every sink (flushes the jsonl event log)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Observer":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(type(sink).__name__ for sink in self._sinks) or "none"
+        return f"Observer(active={self.active}, sinks=[{kinds}])"
+
+
+#: The inactive default: every operation is a no-op.
+NULL_OBSERVER = Observer((), active=False)
+
+_current: Observer = NULL_OBSERVER
+
+
+def get_observer() -> Observer:
+    """The process-wide current observer (:data:`NULL_OBSERVER` by default)."""
+    return _current
+
+
+def set_observer(observer: Optional[Observer]) -> Observer:
+    """Install ``observer`` (or the null observer for ``None``); returns
+    the previously installed one."""
+    global _current
+    previous = _current
+    _current = observer if observer is not None else NULL_OBSERVER
+    return previous
+
+
+@contextmanager
+def use_observer(observer: Observer):
+    """Install ``observer`` as current for the duration of the block."""
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)
+
+
+@contextmanager
+def capture_events(enabled: bool):
+    """Worker-side event capture: ``(observer, buffered_events)``.
+
+    When the current observer is already active *in this process* (the
+    in-process serial path under a CLI-installed observer) events are
+    emitted live and the buffer is ``None`` -- nothing travels, nothing
+    is replayed twice.  A fork-started pool worker inherits the
+    parent's installed observer, but emitting into that copy's sinks
+    would be lost (or, for the jsonl sink, interleave appends from many
+    processes); the pid stamp identifies the stale copy, and the worker
+    buffers instead.  When ``enabled`` (the flow's obs config is
+    active), a buffering observer is installed for the block and the
+    caller ships the returned list back to the parent alongside its
+    result.  The buffer holds plain JSON-able dicts, so it pickles
+    through the process executor unchanged.
+    """
+    current = get_observer()
+    live = current.active and current.pid == os.getpid()
+    if live:
+        yield current, None
+        return
+    if not enabled:
+        if current.active:  # stale forked copy: silence it for the block
+            with use_observer(NULL_OBSERVER):
+                yield NULL_OBSERVER, None
+        else:
+            yield current, None
+        return
+    buffer: List[Dict[str, Any]] = []
+    observer = Observer((BufferSink(buffer),))
+    with use_observer(observer):
+        yield observer, buffer
+
+
+def observer_from_config(config: Any) -> Observer:
+    """Build an observer from an :class:`~repro.flow.config.ObservabilityConfig`.
+
+    Resolves the config's sink selection through the registry: an
+    active ``trace`` path adds the ``jsonl`` sink, ``progress`` adds
+    ``console``, and every name in ``sinks`` is resolved as-is.  An
+    inactive config returns :data:`NULL_OBSERVER`.
+    """
+    if not getattr(config, "active", False):
+        return NULL_OBSERVER
+    names: List[str] = []
+    if getattr(config, "trace", None):
+        names.append("jsonl")
+    if getattr(config, "progress", False):
+        names.append("console")
+    for name in getattr(config, "sinks", ()):
+        if name not in names:
+            names.append(name)
+    sinks: List[Sink] = []
+    for name in names:
+        sink = get_sink(name)(config)
+        if sink is not None and not isinstance(sink, NullSink):
+            sinks.append(sink)
+    if not sinks:
+        return NULL_OBSERVER
+    return Observer(sinks)

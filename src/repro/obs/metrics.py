@@ -1,0 +1,136 @@
+"""A lightweight in-process metrics registry.
+
+Three instrument shapes cover everything the engine wants to know about
+itself: **counters** (monotone totals -- ``store.hit``, ``store.miss``,
+``sweep.cells_done``), **gauges** (last-written values) and
+**histograms** (running count/total/min/max of observed samples --
+``shard.duration_s``, ``kernel.traces_per_s``).
+
+The registry is deliberately dumb: no label cardinality, no time
+windows, no export protocol.  Every update *also* flows through the
+observer's sinks as a schema event (:mod:`repro.obs.events`), so the
+durable record lives in the trace file; the registry is the cheap live
+view -- what a progress display or an adaptive campaign's stopping rule
+polls without replaying the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount}")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down; the last write wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Running summary of observed samples (count/total/min/max/mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name keeps the shape of its first use; asking for the same name
+    with a different instrument type is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls()
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-able summary of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._instruments

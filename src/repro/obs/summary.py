@@ -1,0 +1,143 @@
+"""Aggregating a trace event log into human-sized summaries.
+
+``repro trace summary events.jsonl`` is the read side of the jsonl
+sink: it folds the flat event stream back into per-span timing tables,
+counter totals and the per-cell view of a sweep.  The aggregation is
+also usable programmatically -- :func:`summarize_events` accepts any
+iterable of schema events, so tests and services can summarize a
+buffered run without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .events import METRIC_KINDS, ObsError, validate_event
+
+__all__ = ["SpanStats", "TraceSummary", "summarize_events", "summarize_trace_file"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timing of every completion of one span name."""
+
+    name: str
+    count: int = 0
+    errors: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def observe(self, duration_s: float, error: bool) -> None:
+        self.count += 1
+        if error:
+            self.errors += 1
+        self.total_s += duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summary`` reports about one event log."""
+
+    events: int = 0
+    errors: int = 0
+    #: span name -> aggregate timing, insertion-ordered by first completion.
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    #: counter name -> summed value.
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: histogram name -> aggregate of observed values.
+    histograms: Dict[str, SpanStats] = field(default_factory=dict)
+    #: sweep cell name -> {"duration_s": ..., "error": ...} per sweep.cell span.
+    cells: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def add(self, event: Dict[str, Any]) -> None:
+        """Fold one schema event into the summary."""
+        self.events += 1
+        kind = event["kind"]
+        name = event["name"]
+        if kind in ("span.end", "span.error"):
+            error = kind == "span.error"
+            if error:
+                self.errors += 1
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = SpanStats(name)
+            stats.observe(event.get("duration_s", 0.0), error)
+            if name == "sweep.cell":
+                cell = (event.get("attrs") or {}).get("cell")
+                if cell is not None:
+                    self.cells[str(cell)] = {
+                        "duration_s": event.get("duration_s", 0.0),
+                        "error": event.get("error") if error else None,
+                    }
+        elif kind == "counter":
+            self.counters[name] = self.counters.get(name, 0.0) + event.get("value", 0)
+        elif kind == "histogram":
+            stats = self.histograms.get(name)
+            if stats is None:
+                stats = self.histograms[name] = SpanStats(name)
+            stats.observe(event.get("value", 0.0), error=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "events": self.events,
+            "errors": self.errors,
+            "spans": {name: stats.to_dict() for name, stats in self.spans.items()},
+            "counters": dict(self.counters),
+            "histograms": {
+                name: stats.to_dict() for name, stats in self.histograms.items()
+            },
+            "cells": {name: dict(info) for name, info in self.cells.items()},
+        }
+
+
+def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
+    """Aggregate an iterable of schema events into a :class:`TraceSummary`.
+
+    Each event is validated first; a malformed one raises
+    :class:`~repro.obs.events.ObsError`.
+    """
+    summary = TraceSummary()
+    for event in events:
+        summary.add(validate_event(event))
+    return summary
+
+
+def summarize_trace_file(path: str) -> TraceSummary:
+    """Read a jsonl trace file and aggregate it.
+
+    Blank lines are ignored; a line that is not valid JSON or not a
+    schema-valid event raises :class:`~repro.obs.events.ObsError` naming
+    the offending line number.
+    """
+    summary = TraceSummary()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            try:
+                summary.add(validate_event(event))
+            except ObsError as exc:
+                raise ObsError(f"{path}:{lineno}: {exc}") from None
+    return summary

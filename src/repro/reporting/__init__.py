@@ -1,14 +1,16 @@
 """Reporting helpers: text tables, ASCII plots, experiment and benchmark records."""
 
-from .bench import bench_output_path, write_benchmark_json
+from .bench import bench_output_path, benchmark_provenance, write_benchmark_json
 from .figures import ascii_plot, ascii_waveform
 from .layout import format_routing_imbalance
 from .leakage import format_leakage_assessment
 from .results import ExperimentResult, format_experiment_results
 from .tables import format_table
+from .trace import format_trace_summary
 
 __all__ = [
     "format_table",
+    "format_trace_summary",
     "format_leakage_assessment",
     "format_routing_imbalance",
     "ascii_plot",
@@ -16,5 +18,6 @@ __all__ = [
     "ExperimentResult",
     "format_experiment_results",
     "bench_output_path",
+    "benchmark_provenance",
     "write_benchmark_json",
 ]

@@ -13,11 +13,13 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
-__all__ = ["bench_output_path", "write_benchmark_json"]
+__all__ = ["bench_output_path", "benchmark_provenance", "write_benchmark_json"]
 
 
 def bench_output_path(name: str, directory: Optional[Union[str, Path]] = None) -> Path:
@@ -31,6 +33,38 @@ def bench_output_path(name: str, directory: Optional[Union[str, Path]] = None) -
         raise ValueError(f"benchmark name must be a simple slug, got {name!r}")
     base = Path(directory or os.environ.get("REPRO_BENCH_DIR", "."))
     return base / f"BENCH_{name}.json"
+
+
+def benchmark_provenance() -> Dict[str, Any]:
+    """Where and when a benchmark record was produced.
+
+    Git metadata is best-effort: outside a checkout (or without a git
+    binary) the record simply omits it rather than failing the write.
+    """
+    provenance: Dict[str, Any] = {
+        "created_iso": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "hostname": platform.node(),
+    }
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        )
+        provenance["git_sha"] = head.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=True,
+        )
+        provenance["git_dirty"] = bool(dirty.stdout.strip())
+    except Exception:
+        pass
+    return provenance
 
 
 def write_benchmark_json(
@@ -54,6 +88,7 @@ def write_benchmark_json(
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
+        "provenance": benchmark_provenance(),
         "results": dict(results),
     }
     try:

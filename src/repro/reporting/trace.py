@@ -1,0 +1,88 @@
+"""Rendering trace-summary aggregates as text tables.
+
+The data side lives in :mod:`repro.obs.summary`; this module turns a
+:class:`~repro.obs.summary.TraceSummary` into the aligned tables
+``repro trace summary events.jsonl`` prints: per-span timing, counter
+totals (cache hits and misses included), metric distributions and --
+for sweep traces -- the per-cell breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tables import format_table
+
+__all__ = ["format_trace_summary"]
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def format_trace_summary(summary) -> str:
+    """Text report of a :class:`~repro.obs.summary.TraceSummary`."""
+    blocks: List[str] = []
+    header = f"Trace summary: {summary.events} events"
+    if summary.errors:
+        header += f", {summary.errors} errors"
+    blocks.append(header)
+
+    if summary.spans:
+        rows = [
+            [
+                name,
+                stats.count,
+                stats.errors,
+                _seconds(stats.total_s),
+                _seconds(stats.mean_s),
+                _seconds(stats.max_s),
+            ]
+            for name, stats in sorted(summary.spans.items())
+        ]
+        blocks.append(
+            format_table(
+                ["span", "count", "errors", "total [s]", "mean [s]", "max [s]"],
+                rows,
+                title="Spans",
+            )
+        )
+
+    if summary.counters:
+        rows = [
+            [name, f"{total:g}"] for name, total in sorted(summary.counters.items())
+        ]
+        blocks.append(format_table(["counter", "total"], rows, title="Counters"))
+
+    if summary.histograms:
+        rows = [
+            [
+                name,
+                stats.count,
+                f"{stats.mean_s:g}",
+                f"{stats.max_s:g}",
+            ]
+            for name, stats in sorted(summary.histograms.items())
+        ]
+        blocks.append(
+            format_table(
+                ["metric", "samples", "mean", "max"], rows, title="Histograms"
+            )
+        )
+
+    if summary.cells:
+        rows = [
+            [
+                name,
+                _seconds(info.get("duration_s", 0.0)),
+                info.get("error") or "ok",
+            ]
+            for name, info in sorted(summary.cells.items())
+        ]
+        blocks.append(
+            format_table(
+                ["cell", "time [s]", "status"], rows, title="Sweep cells"
+            )
+        )
+
+    return "\n\n".join(blocks)

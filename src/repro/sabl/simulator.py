@@ -15,6 +15,7 @@ to its differential power analysis.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from ..electrical.energy import CycleEnergySimulator, EventEnergyModel
 from ..electrical.technology import Technology, generic_180nm
+from ..obs import get_observer
 from .circuit import DifferentialCircuit, GateInstance
 
 __all__ = [
@@ -348,10 +350,19 @@ class BatchedCircuitEnergyModel:
         total = np.zeros(matrix.shape[0], dtype=float)
         if matrix.shape[0] == 0:
             return total
+        obs = get_observer()
+        tick = time.perf_counter() if obs.active else 0.0
         lut, inverse = self._event_lut(matrix)
         for start in range(0, matrix.shape[0], batch_size):
             stop = min(start + batch_size, matrix.shape[0])
             self._accumulate(lut[inverse[start:stop]], total[start:stop])
+        if obs.active:
+            elapsed = time.perf_counter() - tick
+            obs.counter("kernel.cycles", matrix.shape[0], simulator="event")
+            if elapsed > 0:
+                obs.histogram(
+                    "kernel.traces_per_s", matrix.shape[0] / elapsed, simulator="event"
+                )
         return total
 
     def _as_matrix(self, vectors) -> np.ndarray:

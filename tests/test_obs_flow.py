@@ -1,0 +1,284 @@
+"""Observability across the flow and engine: parity, bit-identity, CLI.
+
+The cardinal rule these tests pin: observation never changes the
+result.  A traced campaign must produce bit-identical traces and
+verdicts to an untraced one, serial and process executions must emit
+the same logical event stream, and the obs config must stay out of the
+artifact-store keys so traced and untraced runs share cache entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as Multiset
+
+import numpy as np
+
+from repro.engine import run_sweep
+from repro.engine.cli import main
+from repro.flow import (
+    AssessmentConfig,
+    CampaignConfig,
+    DesignFlow,
+    ExecutionConfig,
+    FlowConfig,
+    ObservabilityConfig,
+)
+from repro.obs import BufferSink, Observer, summarize_trace_file, use_observer
+
+TRACES = 48
+SHARD = 16
+
+#: Activates obs without touching the filesystem or the console.
+SILENT_OBS = ObservabilityConfig(sinks=("null",))
+
+
+def _flow(execution, obs=SILENT_OBS, **campaign):
+    campaign.setdefault("trace_count", TRACES)
+    campaign.setdefault("noise_std", 0.01)
+    config = FlowConfig(
+        name="obs_sbox",
+        campaign=CampaignConfig(**campaign),
+        execution=execution,
+        obs=obs,
+    )
+    return DesignFlow.sbox(0xB, config=config)
+
+
+def _run_buffered(execution, **campaign):
+    buffer = []
+    observer = Observer((BufferSink(buffer),))
+    with use_observer(observer):
+        flow = _flow(execution, **campaign)
+        traces = flow.traces()
+    return traces, buffer
+
+
+class TestBitIdentity:
+    def test_traced_run_is_bit_identical_to_untraced(self):
+        untraced = _flow(
+            ExecutionConfig(shard_size=SHARD), obs=ObservabilityConfig()
+        )
+        traced, events = _run_buffered(ExecutionConfig(shard_size=SHARD))
+        assert events, "the traced run emitted nothing"
+        assert np.array_equal(untraced.traces().traces, traced.traces)
+        assert np.array_equal(untraced.traces().plaintexts, traced.plaintexts)
+
+    def test_traced_parallel_run_is_bit_identical_too(self):
+        untraced = _flow(
+            ExecutionConfig(workers=2, shard_size=SHARD), obs=ObservabilityConfig()
+        )
+        traced, events = _run_buffered(ExecutionConfig(workers=2, shard_size=SHARD))
+        assert any(e["name"] == "shard.traces" for e in events)
+        assert np.array_equal(untraced.traces().traces, traced.traces)
+
+    def test_traced_verdict_matches_untraced(self):
+        def verdict(obs):
+            config = FlowConfig(
+                name="obs_verdict",
+                campaign=CampaignConfig(key=0xB, trace_count=64),
+                assessment=AssessmentConfig(
+                    enabled=True, traces_per_class=200, chunk_size=128
+                ),
+                execution=ExecutionConfig(workers=2, shard_size=128),
+                obs=obs,
+            )
+            flow = DesignFlow.sbox(config=config)
+            details = flow.run(["assessment"])["assessment"].details
+            return {
+                key: value
+                for key, value in details.items()
+                if key == "leaks" or key.endswith("_max_abs_t")
+            }
+
+        buffer = []
+        with use_observer(Observer((BufferSink(buffer),))):
+            traced = verdict(SILENT_OBS)
+        untraced = verdict(ObservabilityConfig())
+        assert traced == untraced
+        assert any(e["name"] == "shard.assessment" for e in buffer)
+
+
+class TestEventParity:
+    def test_serial_and_process_emit_the_same_logical_stream(self):
+        _, serial = _run_buffered(ExecutionConfig(shard_size=SHARD))
+        _, parallel = _run_buffered(ExecutionConfig(workers=2, shard_size=SHARD))
+
+        def shard_shape(events):
+            # stage.* spans differ legitimately: worker processes rebuild
+            # the flow, re-running the circuit stages the serial path
+            # computed once.  The sharded work itself must match.
+            return Multiset(
+                (e["kind"], e["name"])
+                for e in events
+                if e["name"].startswith(("shard.", "engine."))
+            )
+
+        assert shard_shape(serial) == shard_shape(parallel)
+
+    def test_worker_events_carry_worker_pids_or_parent(self):
+        _, events = _run_buffered(ExecutionConfig(workers=2, shard_size=SHARD))
+        spans = [e for e in events if e["name"] == "shard.traces"]
+        assert len(spans) == 2 * 3  # start+end per shard
+        # every buffered worker event validates against the schema
+        from repro.obs import validate_event
+
+        for event in events:
+            validate_event(event)
+
+    def test_kernel_metrics_flow_back_from_workers(self):
+        _, events = _run_buffered(
+            ExecutionConfig(workers=2, shard_size=SHARD), simulator="bitslice"
+        )
+        names = {e["name"] for e in events}
+        assert "kernel.traces_per_s" in names
+        assert "executor.map" in {e["name"] for e in events if e["kind"] == "span.end"}
+
+
+class TestStoreStats:
+    def test_counters_and_stats_without_obs(self, tmp_path):
+        execution = ExecutionConfig(shard_size=SHARD, store=str(tmp_path / "store"))
+        flow = _flow(execution, obs=ObservabilityConfig())
+        flow.traces()
+        store = flow._artifact_store()
+        assert store.misses > 0 and store.writes > 0
+        stats = store.stats()
+        assert stats["entries"] > 0 and stats["bytes"] > 0
+        assert stats["writes"] == store.writes
+
+        rerun = _flow(execution, obs=ObservabilityConfig())
+        rerun.traces()
+        assert rerun._artifact_store().hits > 0
+
+    def test_obs_config_is_excluded_from_store_keys(self, tmp_path):
+        execution = ExecutionConfig(shard_size=SHARD, store=str(tmp_path / "store"))
+        _flow(execution, obs=ObservabilityConfig()).traces()
+
+        buffer = []
+        with use_observer(Observer((BufferSink(buffer),))):
+            _flow(execution).traces()
+        hits = [e for e in buffer if e["name"] == "store.hit"]
+        misses = [e for e in buffer if e["name"] == "store.miss"]
+        assert hits and not misses
+
+
+class TestSweepTracing:
+    def test_sweep_trace_file_covers_every_cell(self, tmp_path):
+        trace = tmp_path / "events.jsonl"
+        base = FlowConfig(
+            name="swp",
+            campaign=CampaignConfig(trace_count=32),
+            execution=ExecutionConfig(store=str(tmp_path / "store")),
+            obs=ObservabilityConfig(trace=str(trace)),
+        )
+        result = run_sweep(base, {"gate_style": ["sabl", "cvsl"]}, workers=2)
+        assert len(result.cells) == 2
+
+        summary = summarize_trace_file(str(trace))
+        assert summary.errors == 0
+        assert set(summary.cells) == {
+            "swp/gate_style=sabl", "swp/gate_style=cvsl"
+        }
+        assert summary.spans["sweep"].count == 1
+        assert summary.counters["sweep.cells_done"] == 2.0
+        assert any(name.startswith("stage.") for name in summary.spans)
+
+    def test_sweep_results_unchanged_by_tracing(self, tmp_path):
+        def cells(obs, sub):
+            base = FlowConfig(
+                name="swp",
+                campaign=CampaignConfig(trace_count=32),
+                execution=ExecutionConfig(store=str(tmp_path / sub)),
+                obs=obs,
+            )
+            return run_sweep(
+                base, {"campaign.noise_std": [0.0, 0.02]}, workers=2
+            ).cells
+
+        def comparable(record):
+            # Strip wall-clock readings; everything else must match.
+            clean = json.loads(json.dumps(record, default=str))
+            for cell in ([clean] if isinstance(clean, dict) else clean):
+                cell.pop("elapsed_s", None)
+                for stage in cell.get("stages", {}).values():
+                    stage.get("details", {}).pop("elapsed_s", None)
+                    stage.pop("elapsed_s", None)
+            return clean
+
+        traced = cells(ObservabilityConfig(trace=str(tmp_path / "e.jsonl")), "s1")
+        untraced = cells(ObservabilityConfig(), "s2")
+        assert comparable(traced) == comparable(untraced)
+
+
+class TestCli:
+    def test_traced_run_and_summary(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "run", "--set", "trace_count=32",
+                "--trace", str(trace), "--store", str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        summary = summarize_trace_file(str(trace))
+        assert summary.errors == 0
+        capsys.readouterr()
+
+        code = main(["trace", "summary", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Trace summary:" in out and "Spans" in out
+
+    def test_trace_summary_json(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        assert main(
+            ["run", "--set", "trace_count=32", "--trace", str(trace),
+             "--store", str(tmp_path / "store")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace), "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0 and payload["spans"]
+
+    def test_trace_summary_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["trace", "summary", str(bad)]) != 0
+
+    def test_store_stats_subcommand(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["run", "--set", "trace_count=32", "--store", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "bytes" in out
+
+    def test_json_dash_keeps_stdout_clean(self, tmp_path, capsys):
+        code = main(
+            ["run", "--set", "trace_count=32", "--store", str(tmp_path / "store"),
+             "--json", "-"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is nothing but the report
+        assert "DesignFlow" in captured.err
+
+    def test_quiet_silences_progress(self, tmp_path, capsys):
+        code = main(
+            ["run", "--set", "trace_count=32", "--store", str(tmp_path / "store"),
+             "--progress", "-q"]
+        )
+        assert code == 0
+        assert "repro:" not in capsys.readouterr().err
+
+    def test_verbose_implies_progress(self, tmp_path, capsys):
+        code = main(
+            ["run", "--set", "trace_count=32",
+             "--store", str(tmp_path / "store"), "-v"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro: stage." in err
