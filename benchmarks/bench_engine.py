@@ -1,130 +1,44 @@
 """Extension E -- sharded campaign execution and the artifact store.
 
 The engine's pitch is throughput: campaigns map-reduce over worker
-processes (bit-identical to serial execution of the same shard plan) and
-sweeps skip re-acquisition through the content-addressed artifact store.
-This benchmark measures both -- traces/second at 1, 2 and 4 workers and
-the store's miss-vs-hit wall clock -- and, unlike the older benchmarks,
-also emits the numbers machine-readably as ``BENCH_engine.json`` (via
-:func:`repro.reporting.write_benchmark_json`) so the perf trajectory is
-diffable across commits.
+processes (bit-identical to serial execution of the same shard plan)
+and sweeps skip re-acquisition through the content-addressed artifact
+store.  The measurement itself lives in the registered ``engine``
+benchmark (:mod:`repro.perf.builtin`); this driver runs it under
+pytest-benchmark, prints the record, refreshes ``BENCH_engine.json``,
+appends the run to ``PERF_HISTORY.jsonl`` and asserts the acceptance
+numbers.
 
-Campaign size scales with ``$REPRO_BENCH_TRACES`` (default 16000).  The
-parallel speedup assertion only applies when the host actually has the
-cores (>= 4); the JSON records whatever was measured either way.
+Campaign size scales with ``$REPRO_BENCH_TRACES``; ``REPRO_BENCH_QUICK=1``
+switches to the registry's quick mode.  The parallel speedup assertion
+only applies when the host actually has the cores (>= 4); the records
+keep whatever was measured either way.
 """
 
 import os
-import shutil
-import tempfile
-import time
 
-import numpy as np
-import pytest
+from repro.perf import append_history, cpus_available, get_benchmark, run_benchmark
+from repro.reporting import format_bench_record, write_benchmark_json
 
-from repro.flow import CampaignConfig, DesignFlow, ExecutionConfig, FlowConfig
-from repro.reporting import format_table, write_benchmark_json
-
-KEY = 0xB
-TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "16000"))
-SHARD_SIZE = 512
-WORKER_COUNTS = (1, 2, 4)
-
-
-def _flow(workers, store=None):
-    config = FlowConfig(
-        name="bench_engine",
-        campaign=CampaignConfig(
-            key=KEY, trace_count=TRACES, network_style="fc", noise_std=0.002
-        ),
-        execution=ExecutionConfig(
-            workers=workers, shard_size=SHARD_SIZE, store=store
-        ),
-    )
-    return DesignFlow.sbox(config=config)
-
-
-def _time_campaign(workers, store=None):
-    flow = _flow(workers, store=store)
-    start = time.perf_counter()
-    traces = flow.traces()
-    elapsed = time.perf_counter() - start
-    return flow, traces, elapsed
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
 
 
 def test_engine_scaling_and_store(benchmark):
-    def run():
-        results = {"workers": {}, "store": {}}
-        reference = None
-        for workers in WORKER_COUNTS:
-            _, traces, elapsed = _time_campaign(workers)
-            if reference is None:
-                reference = traces
-            else:
-                assert np.array_equal(reference.traces, traces.traces), (
-                    f"{workers}-worker campaign must be bit-identical to serial"
-                )
-            results["workers"][workers] = elapsed
-
-        store_dir = tempfile.mkdtemp(prefix="bench_engine_store_")
-        try:
-            _, _, miss = _time_campaign(1, store=store_dir)
-            _, cached, hit = _time_campaign(1, store=store_dir)
-            assert np.array_equal(reference.traces, cached.traces)
-            results["store"]["miss"] = miss
-            results["store"]["hit"] = hit
-        finally:
-            shutil.rmtree(store_dir, ignore_errors=True)
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    serial = results["workers"][1]
-    rows = []
-    for workers, elapsed in results["workers"].items():
-        rows.append([
-            f"{workers}",
-            f"{elapsed * 1e3:.1f}",
-            f"{TRACES / elapsed:,.0f}",
-            f"{serial / elapsed:.2f}x",
-        ])
+    bench = get_benchmark("engine")
+    record = benchmark.pedantic(
+        lambda: run_benchmark(bench, quick=QUICK), rounds=1, iterations=1
+    )
     print()
-    print(format_table(
-        ["workers", "time [ms]", "traces/s", "speedup"],
-        rows,
-        title=f"Extension E -- sharded campaign execution, {TRACES} traces "
-              f"(shard size {SHARD_SIZE}, {os.cpu_count()} CPUs)",
-    ))
-    miss, hit = results["store"]["miss"], results["store"]["hit"]
-    print(format_table(
-        ["store", "time [ms]", "speedup"],
-        [["miss (acquire+save)", f"{miss * 1e3:.1f}", "1.00x"],
-         ["hit (load)", f"{hit * 1e3:.1f}", f"{miss / hit:.1f}x"]],
-        title="Artifact store: cold vs warm campaign",
-    ))
+    print(format_bench_record(record))
+    write_benchmark_json("engine", record["results"])
+    append_history(record)
 
-    write_benchmark_json("engine", {
-        "trace_count": TRACES,
-        "shard_size": SHARD_SIZE,
-        "traces_per_second": {
-            str(workers): round(TRACES / elapsed, 1)
-            for workers, elapsed in results["workers"].items()
-        },
-        "speedup_vs_serial": {
-            str(workers): round(serial / elapsed, 3)
-            for workers, elapsed in results["workers"].items()
-        },
-        "store_seconds": {
-            "miss": round(miss, 4),
-            "hit": round(hit, 4),
-            "speedup": round(miss / hit, 1),
-        },
-    })
-
-    assert hit < miss, "a store hit must beat re-acquisition"
-    if (os.cpu_count() or 1) >= 4:
-        speedup = serial / results["workers"][4]
-        assert speedup > 1.5, (
+    metrics = {name: entry["value"] for name, entry in record["metrics"].items()}
+    assert metrics["store_hit_s"] < metrics["store_miss_s"], (
+        "a store hit must beat re-acquisition"
+    )
+    if cpus_available() >= 4:
+        assert metrics["speedup_w4"] > 1.5, (
             f"4 workers should beat serial by >1.5x on a >=4-core host, "
-            f"got {speedup:.2f}x"
+            f"got {metrics['speedup_w4']:.2f}x"
         )

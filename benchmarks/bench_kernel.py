@@ -1,177 +1,39 @@
 """Extension G -- compiled-kernel throughput: traces/second vs width.
 
 The event-table reference model walks every gate's event table per
-batch, so trace throughput collapses roughly linearly with gate count:
-a 16-S-box ``present_round`` slice runs ~25x slower per trace than one
-S-box.  The bit-sliced kernel packs 64 traces per uint64 word, evaluates
-the whole circuit as word-parallel boolean algebra and folds per-event
-energies in cache-sized chunks -- for the paper's fully connected
-(constant-power) networks the per-batch energy reduces to a compiled
-constant, making throughput essentially width-independent.
+batch, so trace throughput collapses roughly linearly with gate count;
+the bit-sliced kernel packs 64 traces per uint64 word and stays
+essentially width-independent.  The measurement lives in the registered
+``kernel`` benchmark (:mod:`repro.perf.builtin`); this driver runs it
+under pytest-benchmark, prints the record, refreshes
+``BENCH_kernel.json``, appends the run to ``PERF_HISTORY.jsonl`` and
+asserts the kernel's acceptance number: the 16-S-box rate stays within
+~2x of the 1-S-box rate.
 
-One campaign runs per (simulator, S-box count) pair; the benchmark
-records traces/second, the wide/narrow throughput ratio per backend and
-the one-off compile cost, and asserts the kernel's acceptance number:
-the 16-S-box rate stays within ~2x of the 1-S-box rate.  Results land
-machine-readably in ``BENCH_kernel.json``.
-
-Campaign size scales with ``$REPRO_BENCH_TRACES`` (default 20000; the
-kernel is fast enough that narrow event-backend campaigns dominate the
-wall clock).
+Campaign size scales with ``$REPRO_BENCH_TRACES``; ``REPRO_BENCH_QUICK=1``
+switches to the registry's quick mode.
 """
 
 import os
-import time
 
-import numpy as np
+from repro.perf import append_history, get_benchmark, run_benchmark
+from repro.reporting import format_bench_record, write_benchmark_json
 
-from repro.kernel import compile_circuit, get_simulator
-from repro.power.trace import nibble_matrix
-from repro.reporting import format_table, write_benchmark_json
-from repro.sabl.circuit import map_expressions
-from repro.scenarios import make_scenario
-
-TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "20000"))
-SBOX_COUNTS = (1, 4, 16)
-SIMULATORS = ("event", "bitslice")
-KEYS = {1: 0xB, 4: 0x2B51, 16: 0x0123_4567_89AB_CDEF}
-#: The event backend at 16 S-boxes is orders of magnitude slower; cap
-#: its campaign so the benchmark terminates quickly, and scale the
-#: measured rate from the smaller sample.
-EVENT_WIDE_CAP = 2000
-BATCH_SIZE = 1024
-
-
-def _program(sboxes):
-    scenario = make_scenario(
-        "present_round", key=KEYS[sboxes], params={"sboxes": sboxes}
-    )
-    circuit = map_expressions(
-        scenario.expressions(),
-        primary_inputs=[f"p{i}" for i in range(scenario.input_width)],
-        network_style="fc",
-        name=f"bench_kernel_{sboxes}",
-    )
-    return scenario, circuit
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
 
 
 def test_kernel_throughput(benchmark):
-    def run():
-        results = {}
-        for sboxes in SBOX_COUNTS:
-            scenario, circuit = _program(sboxes)
-            width = scenario.input_width
-            compile_start = time.perf_counter()
-            program = compile_circuit(circuit)
-            program.plan()  # include the bitslice plan in the compile cost
-            compile_seconds = time.perf_counter() - compile_start
-            rng = np.random.default_rng(2005)
-            dtype = np.uint64 if width >= 64 else np.int64
-            per_simulator = {}
-            for simulator in SIMULATORS:
-                count = (
-                    min(TRACES, EVENT_WIDE_CAP)
-                    if simulator == "event" and sboxes == max(SBOX_COUNTS)
-                    else TRACES
-                )
-                stimuli = rng.integers(
-                    0, 1 << min(width, 62), size=count
-                ).astype(dtype)
-                matrix = nibble_matrix(stimuli, width)
-                model = get_simulator(simulator)(program)
-                model.energies(matrix[:64], batch_size=BATCH_SIZE)  # warm up
-                start = time.perf_counter()
-                energies = model.energies(matrix, batch_size=BATCH_SIZE)
-                elapsed = time.perf_counter() - start
-                assert energies.shape == (count,)
-                per_simulator[simulator] = {
-                    "traces": count,
-                    "seconds": elapsed,
-                    "traces_per_second": count / elapsed,
-                }
-            results[sboxes] = {
-                "gates": len(circuit.gates),
-                "compile_seconds": compile_seconds,
-                "by_simulator": per_simulator,
-            }
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    narrow, wide = min(SBOX_COUNTS), max(SBOX_COUNTS)
-    ratios = {}
-    rows = []
-    for simulator in SIMULATORS:
-        rate = {
-            sboxes: results[sboxes]["by_simulator"][simulator]["traces_per_second"]
-            for sboxes in SBOX_COUNTS
-        }
-        ratios[simulator] = rate[narrow] / rate[wide]
-        for sboxes in SBOX_COUNTS:
-            compile_seconds = results[sboxes]["compile_seconds"]
-            # Campaign sizes at which compiling the kernel pays for
-            # itself against the event backend (never, for the narrow
-            # widths where both run at comparable speed).
-            rows.append(
-                [
-                    simulator,
-                    f"{sboxes}",
-                    f"{4 * sboxes}",
-                    f"{results[sboxes]['gates']}",
-                    f"{rate[sboxes]:,.0f}",
-                    f"{compile_seconds * 1e3:.0f}",
-                ]
-            )
+    bench = get_benchmark("kernel")
+    record = benchmark.pedantic(
+        lambda: run_benchmark(bench, quick=QUICK), rounds=1, iterations=1
+    )
     print()
-    print(
-        format_table(
-            ["simulator", "sboxes", "width", "gates", "traces/s", "compile [ms]"],
-            rows,
-            title=(
-                f"Extension G -- present_round acquisition throughput, "
-                f"{TRACES} traces (batch {BATCH_SIZE})"
-            ),
-        )
-    )
-    print(
-        f"narrow/wide throughput ratio: "
-        + ", ".join(f"{sim}={ratios[sim]:.2f}x" for sim in SIMULATORS)
-    )
+    print(format_bench_record(record))
+    write_benchmark_json("kernel", record["results"])
+    append_history(record)
 
-    # The acceptance number: the compiled kernel's 16-S-box rate stays
-    # within ~2x of its 1-S-box rate (the event backend's ratio is the
-    # ~25x collapse being fixed).
-    assert ratios["bitslice"] <= 2.5, (
+    ratio = record["metrics"]["bitslice_narrow_over_wide"]["value"]
+    assert ratio <= 2.5, (
         f"bitslice throughput must be nearly width-independent, got "
-        f"{ratios['bitslice']:.2f}x narrow/wide"
-    )
-
-    write_benchmark_json(
-        "kernel",
-        {
-            "scenario": "present_round",
-            "trace_count": TRACES,
-            "batch_size": BATCH_SIZE,
-            "event_wide_cap": EVENT_WIDE_CAP,
-            "narrow_over_wide_ratio": {
-                simulator: round(ratios[simulator], 3) for simulator in SIMULATORS
-            },
-            "by_sbox_count": {
-                str(sboxes): {
-                    "width_bits": 4 * sboxes,
-                    "gates": results[sboxes]["gates"],
-                    "compile_ms": round(results[sboxes]["compile_seconds"] * 1e3, 2),
-                    "traces_per_second": {
-                        simulator: round(
-                            results[sboxes]["by_simulator"][simulator][
-                                "traces_per_second"
-                            ],
-                            1,
-                        )
-                        for simulator in SIMULATORS
-                    },
-                }
-                for sboxes in SBOX_COUNTS
-            },
-        },
+        f"{ratio:.2f}x narrow/wide"
     )

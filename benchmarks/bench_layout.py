@@ -1,125 +1,38 @@
 """Extension G -- back-end cost: place+route seconds and routed traces/s.
 
 The layout stage runs once per flow and its parasitics ride along with
-every trace; this benchmark measures both sides of that bargain.  For
-each circuit size (the paper's 4-bit S-box and a 2-S-box
-``present_round`` slice) and each registered router it records
+every trace; the registered ``layout`` benchmark
+(:mod:`repro.perf.builtin`) measures both sides of that bargain --
+place+route+extract wall clock per router, and routed-campaign
+throughput against the layout-free campaign.  This driver runs it under
+pytest-benchmark, prints the record, refreshes ``BENCH_layout.json``
+and appends the run to ``PERF_HISTORY.jsonl``.
 
-* place+route+extract wall-clock seconds (the one-off cost), and
-* routed-campaign traces/second against the layout-free campaign (the
-  recurring cost of back-annotated loads -- expected ~zero, the loads
-  are table lookups).
-
-Numbers land machine-readably in ``BENCH_layout.json`` (via
-:func:`repro.reporting.write_benchmark_json`).  Campaign size scales
-with ``$REPRO_BENCH_TRACES`` (default 4000).
+Campaign size scales with ``$REPRO_BENCH_TRACES``; ``REPRO_BENCH_QUICK=1``
+switches to the registry's quick mode (S-box circuit only).
 """
 
 import os
-import time
 
-from repro.flow import (
-    CampaignConfig,
-    DesignFlow,
-    FlowConfig,
-    LayoutConfig,
-    ScenarioConfig,
-)
-from repro.reporting import format_table, write_benchmark_json
+from repro.perf import append_history, get_benchmark, run_benchmark
+from repro.reporting import format_bench_record, write_benchmark_json
 
-TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "4000"))
-ROUTERS = ("fat", "diffpair", "unbalanced")
-CIRCUITS = (
-    ("sbox", "sbox", {}, 0xB),
-    ("present_round_2x", "present_round", {"sboxes": 2}, 0x6B),
-)
-
-
-def _flow(name, scenario, params, key, router):
-    return DesignFlow(
-        None,
-        FlowConfig(
-            name=f"bench_layout_{name}_{router or 'none'}",
-            campaign=CampaignConfig(key=key, scenario=scenario, trace_count=TRACES),
-            scenario=ScenarioConfig(params=params),
-            layout=LayoutConfig(router=router),
-        ),
-    )
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
 
 
 def test_layout_throughput(benchmark):
-    def run():
-        results = {}
-        for name, scenario, params, key in CIRCUITS:
-            baseline_flow = _flow(name, scenario, params, key, None)
-            start = time.perf_counter()
-            baseline_flow.traces()
-            baseline = time.perf_counter() - start
-            gates = baseline_flow.circuit().gate_count()
-            per_router = {"none": {"layout_s": 0.0, "campaign_s": baseline}}
-            for router in ROUTERS:
-                flow = _flow(name, scenario, params, key, router)
-                flow.circuit()  # keep synthesis out of the layout timing
-                start = time.perf_counter()
-                layout = flow.result("layout").value
-                layout_elapsed = time.perf_counter() - start
-                start = time.perf_counter()
-                flow.traces()
-                campaign_elapsed = time.perf_counter() - start
-                per_router[router] = {
-                    "layout_s": layout_elapsed,
-                    "campaign_s": campaign_elapsed,
-                    "wirelength_um": layout.parasitics.total_wirelength_um(),
-                    "max_mismatch_fF": layout.parasitics.max_mismatch() * 1e15,
-                }
-            results[name] = {"gates": gates, "routers": per_router}
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    record = {}
-    for name, data in results.items():
-        baseline = data["routers"]["none"]["campaign_s"]
-        record[name] = {"gates": data["gates"], "routers": {}}
-        for router, numbers in data["routers"].items():
-            campaign = numbers["campaign_s"]
-            rows.append(
-                [
-                    name,
-                    f"{data['gates']}",
-                    router,
-                    f"{numbers['layout_s'] * 1e3:.0f}",
-                    f"{TRACES / campaign:,.0f}",
-                    f"{baseline / campaign:.2f}x",
-                ]
-            )
-            record[name]["routers"][router] = {
-                "place_route_s": round(numbers["layout_s"], 4),
-                "traces_per_second": round(TRACES / campaign, 1),
-                "relative_throughput": round(baseline / campaign, 3),
-                **(
-                    {
-                        "wirelength_um": round(numbers["wirelength_um"], 1),
-                        "max_mismatch_fF": round(numbers["max_mismatch_fF"], 4),
-                    }
-                    if router != "none"
-                    else {}
-                ),
-            }
-    print()
-    print(
-        format_table(
-            ["circuit", "gates", "router", "place+route [ms]", "traces/s", "vs layout-free"],
-            rows,
-            title=(
-                f"Extension G -- back-end cost, {TRACES} traces "
-                f"({os.cpu_count()} CPUs)"
-            ),
-        )
+    bench = get_benchmark("layout")
+    record = benchmark.pedantic(
+        lambda: run_benchmark(bench, quick=QUICK), rounds=1, iterations=1
     )
+    print()
+    print(format_bench_record(record))
+    write_benchmark_json("layout", record["results"])
+    append_history(record)
 
-    write_benchmark_json(
-        "layout",
-        {"trace_count": TRACES, "circuits": record},
+    # Back-annotated loads are table lookups; routed campaigns must not
+    # collapse the acquisition rate (allow 2x headroom for jitter).
+    metrics = {name: entry["value"] for name, entry in record["metrics"].items()}
+    assert metrics["tps_fat_sbox"] > metrics["tps_none_sbox"] / 2.0, (
+        "routed-campaign throughput collapsed vs the layout-free campaign"
     )

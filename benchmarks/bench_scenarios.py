@@ -1,136 +1,36 @@
 """Extension F -- scenario throughput: traces/second vs datapath width.
 
-The scenario registry opened the engine to round datapaths; this
-benchmark measures what that costs.  One ``present_round`` campaign runs
-per S-box count (1, 2, 4 -- widths 4, 8, 16 bits) at 1 and 4 workers,
-recording traces/second and the parallel speedup, and emits the numbers
-machine-readably as ``BENCH_scenarios.json`` (via
-:func:`repro.reporting.write_benchmark_json`) next to the engine record.
+The scenario registry opened the engine to round datapaths; the
+registered ``scenarios`` benchmark (:mod:`repro.perf.builtin`) measures
+what that costs: one ``present_round`` campaign per S-box count (1, 2,
+4 -- widths 4, 8, 16 bits) at 1 and 4 workers, bit-identity checked
+inside the runner.  This driver runs it under pytest-benchmark, prints
+the record, refreshes ``BENCH_scenarios.json`` and appends the run to
+``PERF_HISTORY.jsonl``.
 
-Campaign size scales with ``$REPRO_BENCH_TRACES`` (default 4000; wider
-slices synthesise more gates per trace, so the default is smaller than
-the engine benchmark's).
+Campaign size scales with ``$REPRO_BENCH_TRACES``; ``REPRO_BENCH_QUICK=1``
+switches to the registry's quick mode.
 """
 
 import os
-import time
 
-import numpy as np
+from repro.perf import append_history, get_benchmark, run_benchmark
+from repro.reporting import format_bench_record, write_benchmark_json
 
-from repro.flow import (
-    CampaignConfig,
-    DesignFlow,
-    ExecutionConfig,
-    FlowConfig,
-    ScenarioConfig,
-)
-from repro.reporting import format_table, write_benchmark_json
-
-TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "4000"))
-SHARD_SIZE = 256
-# Narrow campaigns amortise so little work per shard that 256-trace
-# shards made the 4-worker run *slower* than serial (0.76x at 1 S-box):
-# the vectorized backend simulates a 256-trace shard faster than the
-# pool can schedule it.  Flooring the shard size keeps every shard
-# worth dispatching; both worker counts share one plan, so the
-# bit-identity assertion below still holds.
-MIN_SHARD_SIZE = 500
-SBOX_COUNTS = (1, 2, 4)
-WORKER_COUNTS = (1, 4)
-KEYS = {1: 0xB, 2: 0x6B, 4: 0x2B51}
-
-
-def _flow(sboxes, workers):
-    return DesignFlow(
-        None,
-        FlowConfig(
-            name=f"bench_scenario_{sboxes}",
-            campaign=CampaignConfig(
-                key=KEYS[sboxes],
-                scenario="present_round",
-                trace_count=TRACES,
-                noise_std=0.002,
-            ),
-            scenario=ScenarioConfig(params={"sboxes": sboxes}),
-            execution=ExecutionConfig(
-                workers=workers,
-                shard_size=SHARD_SIZE,
-                min_shard_size=MIN_SHARD_SIZE,
-            ),
-        ),
-    )
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
 
 
 def test_scenario_throughput(benchmark):
-    def run():
-        results = {}
-        for sboxes in SBOX_COUNTS:
-            per_worker = {}
-            reference = None
-            for workers in WORKER_COUNTS:
-                flow = _flow(sboxes, workers)
-                start = time.perf_counter()
-                traces = flow.traces()
-                elapsed = time.perf_counter() - start
-                if reference is None:
-                    reference = traces
-                else:
-                    assert np.array_equal(reference.traces, traces.traces), (
-                        f"{workers}-worker {sboxes}-S-box campaign must be "
-                        f"bit-identical to serial"
-                    )
-                per_worker[workers] = elapsed
-            results[sboxes] = per_worker
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    record = {}
-    for sboxes, per_worker in results.items():
-        serial = per_worker[WORKER_COUNTS[0]]
-        for workers, elapsed in per_worker.items():
-            rows.append(
-                [
-                    f"{sboxes}",
-                    f"{4 * sboxes}",
-                    f"{workers}",
-                    f"{elapsed * 1e3:.1f}",
-                    f"{TRACES / elapsed:,.0f}",
-                    f"{serial / elapsed:.2f}x",
-                ]
-            )
-        record[str(sboxes)] = {
-            "width_bits": 4 * sboxes,
-            "traces_per_second": {
-                str(workers): round(TRACES / elapsed, 1)
-                for workers, elapsed in per_worker.items()
-            },
-            "speedup_vs_serial": {
-                str(workers): round(serial / elapsed, 3)
-                for workers, elapsed in per_worker.items()
-            },
-        }
+    bench = get_benchmark("scenarios")
+    record = benchmark.pedantic(
+        lambda: run_benchmark(bench, quick=QUICK), rounds=1, iterations=1
+    )
     print()
-    print(
-        format_table(
-            ["sboxes", "width", "workers", "time [ms]", "traces/s", "speedup"],
-            rows,
-            title=(
-                f"Extension F -- present_round throughput, {TRACES} traces "
-                f"(shard size {SHARD_SIZE}, min {MIN_SHARD_SIZE}, "
-                f"{os.cpu_count()} CPUs)"
-            ),
-        )
-    )
+    print(format_bench_record(record))
+    write_benchmark_json("scenarios", record["results"])
+    append_history(record)
 
-    write_benchmark_json(
-        "scenarios",
-        {
-            "scenario": "present_round",
-            "trace_count": TRACES,
-            "shard_size": SHARD_SIZE,
-            "min_shard_size": MIN_SHARD_SIZE,
-            "by_sbox_count": record,
-        },
-    )
+    # Wider slices synthesise more gates per trace: throughput must fall
+    # monotonically-ish with width, not collapse outright at 4 S-boxes.
+    metrics = {name: entry["value"] for name, entry in record["metrics"].items()}
+    assert metrics["tps_4sbox_w1"] > 0

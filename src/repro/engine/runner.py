@@ -102,7 +102,7 @@ def _trace_shard_task(
     """
     spec, shard = payload
     flow = _flow_from_spec(spec)
-    with capture_events(flow.config.obs.active) as (_, events):
+    with capture_events(flow.config.obs) as (_, events):
         plaintexts, traces = flow._acquire_trace_shard(shard)
     return plaintexts, traces, events
 
@@ -117,7 +117,7 @@ def _assessment_shard_task(
     """
     spec, shard = payload
     flow = _flow_from_spec(spec)
-    with capture_events(flow.config.obs.active) as (_, events):
+    with capture_events(flow.config.obs) as (_, events):
         methods, chunks = flow._run_assessment_shard(shard)
     return methods, chunks, events
 

@@ -119,7 +119,7 @@ def _sweep_cell_task(
     config = FlowConfig.from_dict(json.loads(config_json))
     flow = DesignFlow(None, config)
     start = time.perf_counter()
-    with capture_events(config.obs.active) as (obs, events):
+    with capture_events(config.obs) as (obs, events):
         with obs.span("sweep.cell", cell=name):
             report = flow.run(list(stages) if stages is not None else None)
         obs.counter("sweep.cells_done", 1, cell=name)

@@ -633,12 +633,22 @@ class ObservabilityConfig(_ConfigBase):
         sinks: additional registered sink names
             (:func:`repro.obs.register_sink`) to attach beyond the two
             implied by ``trace`` and ``progress``.
+        profile: wrap every observer span in :mod:`cProfile` and emit a
+            ``span.profile`` event carrying the span's top-N cumulative
+            hotspots (see :mod:`repro.obs.profile`).  Profiling is a
+            side-channel like every other observability feature -- a
+            profiled run stays bit-identical to an unprofiled one -- and
+            only takes effect when some sink is active to receive the
+            events (``trace``, ``progress`` or ``sinks``).
+        profile_top: hotspot entries kept per profiled span.
     """
 
     trace: Optional[str] = None
     progress: bool = False
     verbosity: int = 1
     sinks: Tuple[str, ...] = ()
+    profile: bool = False
+    profile_top: int = 10
 
     def __post_init__(self) -> None:
         if self.trace is not None:
@@ -652,6 +662,10 @@ class ObservabilityConfig(_ConfigBase):
         bad = sorted({str(name) for name in self.sinks if not name})
         if bad or any(not isinstance(name, str) for name in self.sinks):
             raise ConfigError("sink names must be non-empty strings")
+        if not 1 <= self.profile_top <= 100:
+            raise ConfigError(
+                f"profile_top must be in 1..100, got {self.profile_top}"
+            )
 
     @property
     def active(self) -> bool:

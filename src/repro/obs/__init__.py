@@ -39,13 +39,16 @@ from .core import (
 from .events import (
     EVENT_KINDS,
     METRIC_KINDS,
+    PROFILE_KINDS,
     SCHEMA_VERSION,
     SPAN_KINDS,
+    SUPPORTED_SCHEMA_VERSIONS,
     ObsError,
     make_event,
     validate_event,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import DEFAULT_PROFILE_TOP, SpanProfiler, hotspots_from_profile
 from .sinks import (
     SINKS,
     BufferSink,
@@ -68,11 +71,16 @@ __all__ = [
     "observer_from_config",
     "ObsError",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "EVENT_KINDS",
     "SPAN_KINDS",
     "METRIC_KINDS",
+    "PROFILE_KINDS",
     "make_event",
     "validate_event",
+    "SpanProfiler",
+    "hotspots_from_profile",
+    "DEFAULT_PROFILE_TOP",
     "Counter",
     "Gauge",
     "Histogram",

@@ -30,12 +30,14 @@ Three usage shapes:
 from __future__ import annotations
 
 import os
+import sys
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .events import METRIC_KINDS, make_event
 from .metrics import MetricsRegistry
+from .profile import DEFAULT_PROFILE_TOP, SpanProfiler
 from .sinks import BufferSink, NullSink, Sink, get_sink
 
 __all__ = [
@@ -65,33 +67,63 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """One timed section; emits start/end/error events around its body."""
+    """One timed section; emits start/end/error events around its body.
 
-    __slots__ = ("_observer", "name", "attrs", "_start")
+    When the observer profiles, the outermost span additionally brackets
+    its body in a :class:`~repro.obs.profile.SpanProfiler` and emits a
+    ``span.profile`` event after the closing ``span.end`` -- cProfile
+    only allows one active profiler per interpreter, so nested spans run
+    unprofiled inside the outer one (their frames show up in the outer
+    span's hotspots).
+    """
+
+    __slots__ = ("_observer", "name", "attrs", "_start", "_profiler")
 
     def __init__(self, observer: "Observer", name: str, attrs: Dict[str, Any]) -> None:
         self._observer = observer
         self.name = name
         self.attrs = attrs
         self._start = 0.0
+        self._profiler: Optional[SpanProfiler] = None
 
     def __enter__(self) -> "_Span":
-        self._start = time.perf_counter()
-        self._observer._emit("span.start", self.name, attrs=self.attrs)
+        observer = self._observer
+        observer._emit("span.start", self.name, attrs=self.attrs)
+        if observer.profile and not observer._profiling:
+            observer._profiling = True
+            self._profiler = SpanProfiler(observer.profile_top)
+            self._start = time.perf_counter()
+            self._profiler.start()
+        else:
+            self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, traceback) -> bool:
         duration = time.perf_counter() - self._start
+        observer = self._observer
+        hotspots = None
+        if self._profiler is not None:
+            hotspots = self._profiler.stop()
+            observer._profiling = False
+            self._profiler = None
         if exc_type is None:
-            self._observer._emit(
+            observer._emit(
                 "span.end", self.name, duration_s=duration, attrs=self.attrs
             )
         else:
-            self._observer._emit(
+            observer._emit(
                 "span.error",
                 self.name,
                 duration_s=duration,
                 error=f"{exc_type.__name__}: {exc}",
+                attrs=self.attrs,
+            )
+        if hotspots:
+            observer._emit(
+                "span.profile",
+                self.name,
+                duration_s=duration,
+                profile=hotspots,
                 attrs=self.attrs,
             )
         return False
@@ -105,11 +137,25 @@ class Observer:
     Observers are context managers closing their sinks on exit.
     """
 
-    def __init__(self, sinks: Sequence[Sink], active: bool = True) -> None:
+    def __init__(
+        self,
+        sinks: Sequence[Sink],
+        active: bool = True,
+        profile: bool = False,
+        profile_top: int = DEFAULT_PROFILE_TOP,
+    ) -> None:
         self._sinks: Tuple[Sink, ...] = tuple(sinks)
         self.active = active and bool(self._sinks)
         self.metrics = MetricsRegistry()
         self._seq = 0
+        #: Wrap spans in cProfile and emit ``span.profile`` hotspot
+        #: events (see :mod:`repro.obs.profile`).
+        self.profile = bool(profile)
+        self.profile_top = int(profile_top)
+        self._profiling = False
+        #: Sinks disabled after raising from ``emit`` -- one failing
+        #: sink must never abort the run or starve its siblings.
+        self._dead: set = set()
         #: The process that built this observer.  Forked pool workers
         #: inherit the parent's installed observer; comparing pids lets
         #: :func:`capture_events` spot the stale copy and buffer instead
@@ -118,11 +164,33 @@ class Observer:
 
     # ------------------------------------------------------------------- emit
 
+    def _dispatch(self, event: Dict[str, Any]) -> None:
+        """Hand one event to every live sink, isolating failures.
+
+        Observability must never abort the observed computation: a sink
+        that raises is disabled (with one stderr warning naming it) and
+        its siblings keep receiving events.  When the last sink dies the
+        observer deactivates, restoring the null-observer fast path.
+        """
+        for index, sink in enumerate(self._sinks):
+            if index in self._dead:
+                continue
+            try:
+                sink.emit(event)
+            except Exception as error:  # noqa: BLE001 - isolation by design
+                self._dead.add(index)
+                print(
+                    f"repro: {type(sink).__name__} sink disabled after "
+                    f"error: {type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+        if self._dead and len(self._dead) == len(self._sinks):
+            self.active = False
+
     def _emit(self, kind: str, name: str, **fields: Any) -> None:
         event = make_event(kind, name, seq=self._seq, **fields)
         self._seq += 1
-        for sink in self._sinks:
-            sink.emit(event)
+        self._dispatch(event)
 
     def span(self, name: str, **attrs: Any):
         """Context manager timing a section; emits start/end/error events."""
@@ -168,15 +236,25 @@ class Observer:
                     self.metrics.gauge(event["name"]).set(value)
                 else:
                     self.metrics.histogram(event["name"]).observe(value)
-            for sink in self._sinks:
-                sink.emit(event)
+            self._dispatch(event)
 
     # -------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        """Close every sink (flushes the jsonl event log)."""
+        """Close every sink (flushes the jsonl event log).
+
+        A sink that raises on close is reported, not propagated -- the
+        siblings still get their flush.
+        """
         for sink in self._sinks:
-            sink.close()
+            try:
+                sink.close()
+            except Exception as error:  # noqa: BLE001 - isolation by design
+                print(
+                    f"repro: {type(sink).__name__} sink failed to close: "
+                    f"{type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
 
     def __enter__(self) -> "Observer":
         return self
@@ -221,8 +299,14 @@ def use_observer(observer: Observer):
 
 
 @contextmanager
-def capture_events(enabled: bool):
+def capture_events(enabled: Any):
     """Worker-side event capture: ``(observer, buffered_events)``.
+
+    ``enabled`` is either a plain bool or an
+    :class:`~repro.flow.config.ObservabilityConfig`-like object; passing
+    the config lets the buffering observer inherit the profiling flags,
+    so ``span.profile`` events from worker processes ride back with the
+    shard results like every other event.
 
     When the current observer is already active *in this process* (the
     in-process serial path under a CLI-installed observer) events are
@@ -237,12 +321,14 @@ def capture_events(enabled: bool):
     result.  The buffer holds plain JSON-able dicts, so it pickles
     through the process executor unchanged.
     """
+    config = enabled if not isinstance(enabled, bool) else None
+    active = bool(getattr(enabled, "active", enabled))
     current = get_observer()
     live = current.active and current.pid == os.getpid()
     if live:
         yield current, None
         return
-    if not enabled:
+    if not active:
         if current.active:  # stale forked copy: silence it for the block
             with use_observer(NULL_OBSERVER):
                 yield NULL_OBSERVER, None
@@ -250,7 +336,13 @@ def capture_events(enabled: bool):
             yield current, None
         return
     buffer: List[Dict[str, Any]] = []
-    observer = Observer((BufferSink(buffer),))
+    observer = Observer(
+        (BufferSink(buffer),),
+        profile=bool(getattr(config, "profile", False)),
+        profile_top=int(
+            getattr(config, "profile_top", DEFAULT_PROFILE_TOP) or DEFAULT_PROFILE_TOP
+        ),
+    )
     with use_observer(observer):
         yield observer, buffer
 
@@ -280,4 +372,10 @@ def observer_from_config(config: Any) -> Observer:
             sinks.append(sink)
     if not sinks:
         return NULL_OBSERVER
-    return Observer(sinks)
+    return Observer(
+        sinks,
+        profile=bool(getattr(config, "profile", False)),
+        profile_top=int(
+            getattr(config, "profile_top", DEFAULT_PROFILE_TOP) or DEFAULT_PROFILE_TOP
+        ),
+    )

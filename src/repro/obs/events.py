@@ -7,20 +7,29 @@ possible: the ``jsonl`` sink appends one line per event, ``repro trace
 summary`` aggregates a file of them without knowing who produced each
 line, and the service API can stream them to clients verbatim.
 
-Schema (version 1)::
+Schema (version 2; version-1 lines remain valid)::
 
     {
-      "v": 1,                  # schema version
+      "v": 2,                  # schema version
       "ts": 1754556000.123,    # unix wall-clock seconds (float)
       "pid": 4242,             # emitting process (worker provenance)
       "seq": 17,               # per-observer monotone sequence number
       "kind": "span.end",      # one of EVENT_KINDS
       "name": "stage.traces",  # dotted span/metric name
-      "duration_s": 1.234,     # span.end / span.error only
+      "duration_s": 1.234,     # span.end / span.error / span.profile
       "value": 256,            # counter / gauge / histogram only
       "error": "FlowError: ...",   # span.error only
+      "profile": [...],        # span.profile only: top-N hotspot dicts
       "attrs": {"flow": "cli"}     # optional str -> scalar context
     }
+
+Version 2 added the ``span.profile`` kind: when
+:attr:`~repro.flow.config.ObservabilityConfig.profile` is set, every
+profiled span is followed by one ``span.profile`` event whose
+``profile`` field lists the span's top-N cumulative-time hotspots --
+``{"func": "file:line(name)", "calls": int, "tottime_s": float,
+"cumtime_s": float}`` -- so a perf regression report can point at the
+function that caused it.
 
 Timestamps and durations are observability side-channels: they never
 feed back into any computation, which is why a traced campaign stays
@@ -36,16 +45,23 @@ from typing import Any, Dict, Mapping, Optional
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "EVENT_KINDS",
     "SPAN_KINDS",
     "METRIC_KINDS",
+    "PROFILE_KINDS",
+    "HOTSPOT_FIELDS",
     "ObsError",
     "make_event",
     "validate_event",
 ]
 
 #: Bump when the event shape (not the emitted names) changes.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Older schema versions whose events still validate (version 2 only
+#: *added* the ``span.profile`` kind, so version-1 logs stay readable).
+SUPPORTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
 
 #: Span lifecycle events (``span.start`` is emitted only at high
 #: verbosity sinks' discretion -- it is part of the schema regardless).
@@ -55,7 +71,14 @@ SPAN_KINDS = ("span.start", "span.end", "span.error")
 #: the observed sample (gauge, histogram).
 METRIC_KINDS = ("counter", "gauge", "histogram")
 
-EVENT_KINDS = SPAN_KINDS + METRIC_KINDS
+#: Profiler output: one event per profiled span, carrying the span's
+#: top-N cumulative hotspots in the ``profile`` field.
+PROFILE_KINDS = ("span.profile",)
+
+EVENT_KINDS = SPAN_KINDS + METRIC_KINDS + PROFILE_KINDS
+
+#: Required keys of each hotspot entry in a ``span.profile`` event.
+HOTSPOT_FIELDS = ("func", "calls", "tottime_s", "cumtime_s")
 
 
 class ObsError(ValueError):
@@ -73,6 +96,7 @@ def make_event(
     value: Optional[float] = None,
     duration_s: Optional[float] = None,
     error: Optional[str] = None,
+    profile: Optional[Any] = None,
     attrs: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """A schema-valid event dictionary, stamped with time and process.
@@ -96,6 +120,8 @@ def make_event(
         event["duration_s"] = float(duration_s)
     if error is not None:
         event["error"] = str(error)
+    if profile is not None:
+        event["profile"] = [dict(entry) for entry in profile]
     if attrs:
         event["attrs"] = {
             str(key): (item if _scalar(item) else str(item))
@@ -113,7 +139,7 @@ def validate_event(event: Any) -> Dict[str, Any]:
     """
     if not isinstance(event, Mapping):
         raise ObsError(f"event must be a mapping, got {type(event).__name__}")
-    if event.get("v") != SCHEMA_VERSION:
+    if event.get("v") not in SUPPORTED_SCHEMA_VERSIONS:
         raise ObsError(
             f"unsupported event schema version {event.get('v')!r}; "
             f"expected {SCHEMA_VERSION}"
@@ -133,7 +159,7 @@ def validate_event(event: Any) -> Dict[str, Any]:
     if kind in METRIC_KINDS and not isinstance(event.get("value"), numbers.Real):
         raise ObsError(f"{kind} event needs a numeric 'value', got "
                        f"{event.get('value')!r}")
-    if kind in ("span.end", "span.error"):
+    if kind in ("span.end", "span.error", "span.profile"):
         duration = event.get("duration_s")
         if not isinstance(duration, numbers.Real) or duration < 0:
             raise ObsError(
@@ -141,6 +167,30 @@ def validate_event(event: Any) -> Dict[str, Any]:
             )
     if kind == "span.error" and not isinstance(event.get("error"), str):
         raise ObsError("span.error event needs an 'error' string")
+    if kind == "span.profile":
+        hotspots = event.get("profile")
+        if not isinstance(hotspots, (list, tuple)):
+            raise ObsError(
+                f"span.profile event needs a 'profile' list of hotspot "
+                f"entries, got {hotspots!r}"
+            )
+        for entry in hotspots:
+            if not isinstance(entry, Mapping):
+                raise ObsError(
+                    f"profile hotspots must be mappings, got "
+                    f"{type(entry).__name__}"
+                )
+            if not isinstance(entry.get("func"), str) or not entry.get("func"):
+                raise ObsError(
+                    f"profile hotspot needs a non-empty 'func' string, "
+                    f"got {entry.get('func')!r}"
+                )
+            for field in ("calls", "tottime_s", "cumtime_s"):
+                if not isinstance(entry.get(field), numbers.Real):
+                    raise ObsError(
+                        f"profile hotspot field {field!r} must be a number, "
+                        f"got {entry.get(field)!r}"
+                    )
     attrs = event.get("attrs")
     if attrs is not None:
         if not isinstance(attrs, Mapping):

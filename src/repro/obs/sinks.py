@@ -23,6 +23,7 @@ a sink (or ``None`` to opt out for that config).
 from __future__ import annotations
 
 import json
+import os
 import sys
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
@@ -88,6 +89,11 @@ class JsonlSink(Sink):
     touches the filesystem) in line-buffered append mode, so every event
     reaches disk as soon as it is emitted -- a crashed campaign keeps
     its partial trace.
+
+    Writability is checked *eagerly*: a trace path whose directory does
+    not exist (or is not writable, or which names a directory) fails
+    here, at configure time, with a clear error -- not twenty minutes
+    into a sweep when the first event tries to open the file.
     """
 
     def __init__(self, path: str) -> None:
@@ -95,6 +101,23 @@ class JsonlSink(Sink):
             raise ObsError("jsonl sink needs a trace file path")
         self.path = path
         self._handle: Optional[TextIO] = None
+        self._check_writable()
+
+    def _check_writable(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if os.path.isdir(self.path):
+            raise ObsError(
+                f"trace path {self.path!r} is a directory; the jsonl sink "
+                f"needs a file path"
+            )
+        if not os.path.isdir(directory):
+            raise ObsError(
+                f"trace path {self.path!r} is not writable: directory "
+                f"{directory!r} does not exist"
+            )
+        target = self.path if os.path.exists(self.path) else directory
+        if not os.access(target, os.W_OK):
+            raise ObsError(f"trace path {self.path!r} is not writable")
 
     def emit(self, event: Dict[str, Any]) -> None:
         if self._handle is None:
@@ -136,6 +159,8 @@ class ConsoleSink(Sink):
             return 2 if detail else 1
         if kind in ("counter", "gauge", "histogram"):
             return 3 if not detail else 2
+        if kind == "span.profile":
+            return 2
         return 3  # span.start
 
     def _format(self, event: Dict[str, Any]) -> str:
@@ -149,6 +174,14 @@ class ConsoleSink(Sink):
             body = f"{name} FAILED after {event['duration_s']:.3f}s: {event['error']}"
         elif kind == "span.start":
             body = f"{name} ..."
+        elif kind == "span.profile":
+            hotspots = event.get("profile") or []
+            head = hotspots[0] if hotspots else {}
+            body = (
+                f"{name} hottest: {head.get('func', '?')} "
+                f"({head.get('cumtime_s', 0.0):.3f}s cumulative, "
+                f"{len(hotspots)} entries)"
+            )
         else:
             body = f"{name} = {event.get('value')}"
         return f"repro: {body}" + (f"  [{suffix}]" if suffix else "")

@@ -14,7 +14,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from .events import METRIC_KINDS, ObsError, validate_event
+from .events import ObsError, validate_event
+from .metrics import Histogram
 
 __all__ = ["SpanStats", "TraceSummary", "summarize_events", "summarize_trace_file"]
 
@@ -61,10 +62,16 @@ class TraceSummary:
     spans: Dict[str, SpanStats] = field(default_factory=dict)
     #: counter name -> summed value.
     counters: Dict[str, float] = field(default_factory=dict)
-    #: histogram name -> aggregate of observed values.
-    histograms: Dict[str, SpanStats] = field(default_factory=dict)
+    #: histogram name -> full running summary of observed values,
+    #: reservoir quantiles (p50/p95/p99) included.
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
     #: sweep cell name -> {"duration_s": ..., "error": ...} per sweep.cell span.
     cells: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: span name -> hotspot label -> {"calls", "tottime_s", "cumtime_s",
+    #: "spans"}: ``span.profile`` events merged across repetitions of
+    #: the same span (a shard span profiled 12 times folds into one
+    #: table with its per-function times summed).
+    profiles: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
 
     def add(self, event: Dict[str, Any]) -> None:
         """Fold one schema event into the summary."""
@@ -91,8 +98,29 @@ class TraceSummary:
         elif kind == "histogram":
             stats = self.histograms.get(name)
             if stats is None:
-                stats = self.histograms[name] = SpanStats(name)
-            stats.observe(event.get("value", 0.0), error=False)
+                stats = self.histograms[name] = Histogram()
+            stats.observe(event.get("value", 0.0))
+        elif kind == "span.profile":
+            merged = self.profiles.setdefault(name, {})
+            for entry in event.get("profile", ()):  # validated upstream
+                slot = merged.setdefault(
+                    entry["func"],
+                    {"calls": 0, "tottime_s": 0.0, "cumtime_s": 0.0, "spans": 0},
+                )
+                slot["calls"] += entry["calls"]
+                slot["tottime_s"] += entry["tottime_s"]
+                slot["cumtime_s"] += entry["cumtime_s"]
+                slot["spans"] += 1
+
+    def top_hotspots(self, span: str, top: int = 10) -> List[Dict[str, Any]]:
+        """The span's merged hotspots, hottest (cumulative) first."""
+        merged = self.profiles.get(span, {})
+        ordered = sorted(
+            merged.items(), key=lambda item: (-item[1]["cumtime_s"], item[0])
+        )
+        return [
+            {"func": func, **values} for func, values in ordered[: max(1, top)]
+        ]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -104,6 +132,9 @@ class TraceSummary:
                 name: stats.to_dict() for name, stats in self.histograms.items()
             },
             "cells": {name: dict(info) for name, info in self.cells.items()},
+            "profiles": {
+                name: self.top_hotspots(name) for name in self.profiles
+            },
         }
 
 

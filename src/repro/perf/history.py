@@ -1,0 +1,210 @@
+"""Running benchmarks and the append-only perf history store.
+
+``BENCH_<name>.json`` holds only the *latest* run of each benchmark;
+the trajectory lives in version control.  That is fine for eyeballing
+but useless for gating: a regression check needs the previous numbers
+*and* an estimate of how noisy they are.  ``PERF_HISTORY.jsonl`` is the
+machine-readable trajectory -- one provenance-stamped record per
+benchmark per run, appended and never rewritten, holding the median of
+``repetitions`` runs plus the observed relative spread so the gate
+(:mod:`repro.perf.compare`) can tell a real slowdown from jitter.
+
+Unreliability is recorded at measurement time: a metric whose declared
+worker count exceeds the CPUs this process may actually use (see
+:func:`cpus_available`) is marked ``"unreliable": true`` and excluded
+from gating -- a 4-worker speedup measured on a 1-CPU container says
+nothing about the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..reporting.bench import benchmark_provenance
+from .registry import Benchmark, BenchResult, PerfError
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_FILE",
+    "cpus_available",
+    "history_path",
+    "run_benchmark",
+    "append_history",
+    "read_history",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+DEFAULT_HISTORY_FILE = "PERF_HISTORY.jsonl"
+
+
+def cpus_available() -> int:
+    """How many CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host; containers and ``taskset`` can
+    pin the process to fewer.  The scheduler affinity mask is the honest
+    number for judging parallel speedups, falling back to the host count
+    where the platform has no affinity API.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+def history_path(directory: Optional[Union[str, Path]] = None) -> Path:
+    """Where ``PERF_HISTORY.jsonl`` lives.
+
+    ``directory`` wins, then ``$REPRO_BENCH_DIR``, then the current
+    working directory -- the same resolution as
+    :func:`repro.reporting.bench_output_path`, so history and
+    ``BENCH_*.json`` records land side by side.
+    """
+    base = Path(directory or os.environ.get("REPRO_BENCH_DIR", "."))
+    return base / DEFAULT_HISTORY_FILE
+
+
+def _environment() -> Dict[str, Any]:
+    environment: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": cpus_available(),
+    }
+    try:
+        import numpy
+
+        environment["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return environment
+
+
+def _spread_rel(values: List[float]) -> float:
+    """Relative spread of repeated measurements: (max-min)/|median|."""
+    if len(values) < 2:
+        return 0.0
+    center = statistics.median(values)
+    if center == 0:
+        return 0.0
+    return (max(values) - min(values)) / abs(center)
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    quick: bool = False,
+    repetitions: int = 1,
+) -> Dict[str, Any]:
+    """Run ``benchmark`` ``repetitions`` times; returns one history record.
+
+    The record's per-metric value is the *median* across repetitions
+    (robust to a one-off scheduler hiccup) and carries the observed
+    relative spread, so downstream comparison can require a delta to
+    clear the measured jitter band before calling it a regression.
+    ``results``/``params`` come from the final repetition.
+    """
+    if repetitions < 1:
+        raise PerfError(f"repetitions must be >= 1, got {repetitions}")
+    cpus = cpus_available()
+    samples: Dict[str, List[float]] = {}
+    final: Optional[BenchResult] = None
+    for _ in range(repetitions):
+        final = benchmark.run(quick)
+        if not isinstance(final, BenchResult):
+            raise PerfError(
+                f"benchmark {benchmark.name!r} runner must return a "
+                f"BenchResult, got {type(final).__name__}"
+            )
+        benchmark.check_metrics(final.metrics)
+        for name, value in final.metrics.items():
+            samples.setdefault(name, []).append(float(value))
+    assert final is not None
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(samples):
+        values = samples[name]
+        spec = benchmark.spec(name)
+        entry: Dict[str, Any] = {
+            "value": statistics.median(values),
+            "unit": spec.unit,
+            "higher_is_better": spec.higher_is_better,
+            "spread_rel": round(_spread_rel(values), 6),
+        }
+        if repetitions > 1:
+            entry["values"] = values
+        if spec.workers is not None:
+            entry["workers"] = spec.workers
+            if spec.workers > cpus:
+                entry["unreliable"] = True
+        metrics[name] = entry
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "benchmark": benchmark.name,
+        "quick": bool(quick),
+        "repetitions": repetitions,
+        "metrics": metrics,
+        "params": dict(final.params),
+        # The final repetition's full nested record -- the same shape
+        # committed as BENCH_<name>.json, kept so a history record is
+        # self-contained and `repro bench run --bench-json` can refresh
+        # the committed file from it.
+        "results": dict(final.results),
+        "environment": _environment(),
+        "provenance": benchmark_provenance(),
+    }
+
+
+def append_history(
+    record: Dict[str, Any], path: Optional[Union[str, Path]] = None
+) -> Path:
+    """Append one record to the history file; returns its path.
+
+    ``path`` names the jsonl file itself; the default is
+    :func:`history_path` in the current bench directory.
+    """
+    target = Path(path) if path is not None else history_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+    return target
+
+
+def read_history(
+    path: Optional[Union[str, Path]] = None,
+    benchmark: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Read history records, oldest first; optionally one benchmark's.
+
+    A missing file is an empty history (the first ``repro bench
+    history`` call should not crash); a malformed line raises
+    :class:`PerfError` naming the line number.
+    """
+    target = Path(path) if path is not None else history_path()
+    if not target.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with open(target, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise PerfError(
+                    f"{target}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            if not isinstance(record, dict) or "benchmark" not in record:
+                raise PerfError(
+                    f"{target}:{lineno}: not a benchmark history record"
+                )
+            if benchmark is None or record["benchmark"] == benchmark:
+                records.append(record)
+    return records

@@ -15,6 +15,7 @@ import os
 import platform
 import subprocess
 import time
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
@@ -67,10 +68,26 @@ def benchmark_provenance() -> Dict[str, Any]:
     return provenance
 
 
+def _cpu_affinity() -> Optional[int]:
+    """CPUs this process may run on (the honest parallel-speedup bound).
+
+    ``cpu_count`` reports the host; container CPU masks and ``taskset``
+    can pin the process to fewer, making measured speedups meaningless.
+    ``None`` where the platform has no affinity API.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or None
+        except OSError:  # pragma: no cover - exotic platforms
+            return None
+    return None
+
+
 def write_benchmark_json(
     name: str,
     results: Mapping[str, Any],
     directory: Optional[Union[str, Path]] = None,
+    strict: bool = False,
 ) -> Path:
     """Write ``results`` as ``BENCH_<name>.json``; returns the path.
 
@@ -78,17 +95,39 @@ def write_benchmark_json(
     lives in version control, which is the point of committing the
     files).  ``results`` must be JSON-able -- benchmarks pre-round their
     floats so the records diff cleanly.
+
+    Records produced from a dirty working tree are suspect -- the SHA in
+    their provenance does not name the code that ran.  A dirty tree
+    warns by default; ``strict=True`` (``repro bench run --strict``)
+    refuses to write the record at all.
     """
     path = bench_output_path(name, directory)
+    provenance = benchmark_provenance()
+    if provenance.get("git_dirty"):
+        if strict:
+            raise ValueError(
+                f"refusing to write {path.name}: the working tree is dirty, "
+                f"so {str(provenance.get('git_sha', '?'))[:9]} does not name "
+                f"the code that ran (commit or stash first)"
+            )
+        warnings.warn(
+            f"writing {path.name} from a dirty working tree; its provenance "
+            f"SHA does not name the code that ran",
+            stacklevel=2,
+        )
+    environment: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    affinity = _cpu_affinity()
+    if affinity is not None:
+        environment["cpu_affinity"] = affinity
     record: Dict[str, Any] = {
         "benchmark": name,
         "created_unix": round(time.time(), 3),
-        "environment": {
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
-        "provenance": benchmark_provenance(),
+        "environment": environment,
+        "provenance": provenance,
         "results": dict(results),
     }
     try:

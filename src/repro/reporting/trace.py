@@ -59,16 +59,41 @@ def format_trace_summary(summary) -> str:
             [
                 name,
                 stats.count,
-                f"{stats.mean_s:g}",
-                f"{stats.max_s:g}",
+                f"{stats.mean:g}",
+                f"{stats.quantile(0.50):g}",
+                f"{stats.quantile(0.95):g}",
+                f"{stats.quantile(0.99):g}",
+                f"{stats.max:g}",
             ]
             for name, stats in sorted(summary.histograms.items())
         ]
         blocks.append(
             format_table(
-                ["metric", "samples", "mean", "max"], rows, title="Histograms"
+                ["metric", "samples", "mean", "p50", "p95", "p99", "max"],
+                rows,
+                title="Histograms",
             )
         )
+
+    if summary.profiles:
+        for span in sorted(summary.profiles):
+            rows = [
+                [
+                    entry["func"],
+                    entry["calls"],
+                    _seconds(entry["tottime_s"]),
+                    _seconds(entry["cumtime_s"]),
+                    entry["spans"],
+                ]
+                for entry in summary.top_hotspots(span)
+            ]
+            blocks.append(
+                format_table(
+                    ["function", "calls", "self [s]", "cumulative [s]", "spans"],
+                    rows,
+                    title=f"Profile hotspots: {span}",
+                )
+            )
 
     if summary.cells:
         rows = [

@@ -336,7 +336,7 @@ class TestTraceSummary:
         assert summary.spans["sweep.cell"].count == 2
         assert summary.spans["sweep.cell"].errors == 1
         assert summary.counters["store.miss"] == 1.0
-        assert summary.histograms["shard.duration_s"].mean_s == pytest.approx(0.5)
+        assert summary.histograms["shard.duration_s"].mean == pytest.approx(0.5)
         assert summary.cells["g/a=1"]["error"] is None
         assert "RuntimeError: bad cell" in summary.cells["g/a=2"]["error"]
 
@@ -374,3 +374,195 @@ class TestTraceSummary:
 class TestSummaryStats:
     def test_empty_summary_formats(self):
         assert format_trace_summary(TraceSummary()) == "Trace summary: 0 events"
+
+
+# ----------------------------------------------------- quantiles and profiling
+
+
+class TestHistogramQuantiles:
+    def test_exact_within_the_reservoir(self):
+        h = Histogram()
+        for value in range(101):  # 0..100
+            h.observe(float(value))
+        snapshot = h.to_dict()
+        assert snapshot["p50"] == pytest.approx(50.0)
+        assert snapshot["p95"] == pytest.approx(95.0)
+        assert snapshot["p99"] == pytest.approx(99.0)
+
+    def test_reservoir_stays_bounded_and_deterministic(self):
+        def build():
+            h = Histogram()
+            for value in range(10_000):
+                h.observe(float(value))
+            return h
+
+        first, second = build(), build()
+        assert len(first._reservoir) == Histogram.RESERVOIR_SIZE
+        # Fixed-seed replacement: identical streams, identical quantiles.
+        assert first.quantiles() == second.quantiles()
+        # The uniform reservoir keeps the median in the right ballpark.
+        assert 3000 < first.quantile(0.5) < 7000
+
+    def test_empty_histogram_snapshot_has_no_quantiles(self):
+        assert Histogram().to_dict() == {"type": "histogram", "count": 0}
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_validates_its_range(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="0..1"):
+            h.quantile(1.5)
+
+    def test_summary_reports_quantiles(self):
+        events = [
+            make_event("histogram", "shard.duration_s", seq=v, value=float(v))
+            for v in range(1, 11)
+        ]
+        summary = summarize_events(events)
+        snapshot = summary.to_dict()["histograms"]["shard.duration_s"]
+        assert snapshot["p50"] == pytest.approx(5.5)
+        rendered = format_trace_summary(summary)
+        assert "p50" in rendered and "p95" in rendered and "p99" in rendered
+
+
+class TestSinkFailureIsolation:
+    class _Boom:
+        def __init__(self):
+            self.emitted = 0
+
+        def emit(self, event):
+            self.emitted += 1
+            raise RuntimeError("sink exploded")
+
+        def close(self):
+            pass
+
+    def test_raising_sink_is_disabled_not_fatal(self, capsys):
+        boom = self._Boom()
+        buffer = []
+        observer = Observer((boom, BufferSink(buffer)))
+        with observer.span("work"):
+            observer.counter("ticks")
+        # The run survived, the sibling sink saw every event, and the
+        # broken sink was disabled after its first failure.
+        assert boom.emitted == 1
+        assert [e["kind"] for e in buffer] == ["span.start", "counter", "span.end"]
+        assert "disabled after error" in capsys.readouterr().err
+
+    def test_all_sinks_dead_deactivates_the_observer(self, capsys):
+        observer = Observer((self._Boom(),))
+        with observer.span("work"):
+            pass
+        assert observer.active is False
+        capsys.readouterr()
+
+    def test_close_failure_is_contained(self, capsys):
+        class BadClose:
+            def emit(self, event):
+                pass
+
+            def close(self):
+                raise OSError("disk gone")
+
+        observer = Observer((BadClose(), BufferSink([])))
+        observer.close()  # must not raise
+        assert "close" in capsys.readouterr().err.lower()
+
+
+class TestJsonlConfigureTime:
+    def test_unwritable_directory_fails_at_configure_time(self, tmp_path):
+        with pytest.raises(ObsError, match="does not exist"):
+            JsonlSink(str(tmp_path / "missing" / "events.jsonl"))
+
+    def test_directory_path_is_rejected(self, tmp_path):
+        with pytest.raises(ObsError, match="is a directory"):
+            JsonlSink(str(tmp_path))
+
+    def test_readonly_directory_is_rejected(self, tmp_path):
+        import os
+
+        target = tmp_path / "ro"
+        target.mkdir()
+        target.chmod(0o500)
+        try:
+            if os.access(target, os.W_OK):  # root bypasses permission bits
+                pytest.skip("running with CAP_DAC_OVERRIDE; W_OK cannot fail")
+            with pytest.raises(ObsError, match="not writable"):
+                JsonlSink(str(target / "events.jsonl"))
+        finally:
+            target.chmod(0o700)
+
+    def test_observer_from_config_fails_fast(self, tmp_path):
+        config = ObservabilityConfig(
+            trace=str(tmp_path / "missing" / "events.jsonl")
+        )
+        with pytest.raises(ObsError, match="does not exist"):
+            observer_from_config(config)
+
+
+class TestSpanProfiling:
+    def _profiled_events(self):
+        buffer = []
+        observer = Observer((BufferSink(buffer),), profile=True, profile_top=5)
+
+        def burn():
+            return sum(i * i for i in range(20_000))
+
+        with observer.span("outer"):
+            with observer.span("inner"):
+                burn()
+            burn()
+        return buffer
+
+    def test_outermost_span_emits_a_profile_event(self):
+        events = self._profiled_events()
+        kinds = [e["kind"] for e in events]
+        profiles = [e for e in events if e["kind"] == "span.profile"]
+        # Only the outermost span profiles (cProfile is one-per-thread);
+        # the inner span runs unprofiled inside it.
+        assert len(profiles) == 1
+        assert profiles[0]["name"] == "outer"
+        assert kinds[-1] == "span.profile"  # emitted after span.end
+
+    def test_profile_events_validate_and_carry_hotspots(self):
+        profiles = [
+            e for e in self._profiled_events() if e["kind"] == "span.profile"
+        ]
+        event = validate_event(profiles[0])
+        assert event["v"] == SCHEMA_VERSION
+        assert 1 <= len(event["profile"]) <= 5
+        top = event["profile"][0]
+        assert set(top) == {"func", "calls", "tottime_s", "cumtime_s"}
+        assert any("burn" in entry["func"] for entry in event["profile"])
+
+    def test_unprofiled_observer_emits_no_profile_events(self):
+        observer, buffer = _buffered_observer()
+        with observer.span("outer"):
+            pass
+        assert all(e["kind"] != "span.profile" for e in buffer)
+
+    def test_summary_merges_profiles_across_spans(self):
+        events = []
+        for _ in range(3):
+            events.extend(self._profiled_events())
+        summary = summarize_events(events)
+        assert "outer" in summary.profiles
+        hotspots = summary.top_hotspots("outer")
+        assert hotspots[0]["spans"] >= 1
+        rendered = format_trace_summary(summary)
+        assert "Profile hotspots: outer" in rendered
+
+    def test_capture_events_inherits_profile_from_config(self):
+        config = ObservabilityConfig(sinks=("null",), profile=True)
+        with capture_events(config) as (observer, buffer):
+            assert observer.profile is True
+            with observer.span("outer"):
+                sum(i for i in range(10_000))
+        assert any(e["kind"] == "span.profile" for e in buffer)
+
+    def test_profile_config_round_trips(self):
+        config = ObservabilityConfig(profile=True, profile_top=7)
+        clone = ObservabilityConfig.from_dict(config.to_dict())
+        assert clone.profile is True and clone.profile_top == 7
+        with pytest.raises(Exception, match="profile_top"):
+            ObservabilityConfig(profile_top=0)

@@ -282,3 +282,69 @@ class TestCli:
         assert code == 0
         err = capsys.readouterr().err
         assert "repro: stage." in err
+
+
+class TestProfiledFlows:
+    """Span profiling extends the cardinal rule: profiled == unprofiled."""
+
+    #: Workers inherit profiling from the flow config they rebuild.
+    PROFILED_OBS = ObservabilityConfig(sinks=("null",), profile=True)
+
+    def _run_profiled(self, execution):
+        buffer = []
+        observer = Observer((BufferSink(buffer),), profile=True)
+        with use_observer(observer):
+            flow = _flow(execution, obs=self.PROFILED_OBS)
+            traces = flow.traces()
+        return traces, buffer
+
+    def test_profiled_run_is_bit_identical_to_unprofiled(self):
+        plain = _flow(ExecutionConfig(shard_size=SHARD), obs=ObservabilityConfig())
+        traced, events = self._run_profiled(ExecutionConfig(shard_size=SHARD))
+        assert any(e["kind"] == "span.profile" for e in events), (
+            "the profiled run emitted no span.profile events"
+        )
+        assert np.array_equal(plain.traces().traces, traced.traces)
+        assert np.array_equal(plain.traces().plaintexts, traced.plaintexts)
+
+    def test_profiled_parallel_run_is_bit_identical_too(self):
+        plain = _flow(
+            ExecutionConfig(workers=2, shard_size=SHARD), obs=ObservabilityConfig()
+        )
+        traced, events = self._run_profiled(
+            ExecutionConfig(workers=2, shard_size=SHARD)
+        )
+        assert any(e["kind"] == "span.profile" for e in events)
+        assert np.array_equal(plain.traces().traces, traced.traces)
+
+    def test_only_outermost_spans_profile(self):
+        _, events = self._run_profiled(ExecutionConfig(shard_size=SHARD))
+        profiled = {e["name"] for e in events if e["kind"] == "span.profile"}
+        started = {e["name"] for e in events if e["kind"] == "span.start"}
+        # Nested spans (shard.* inside stage.traces) never re-profile.
+        assert profiled
+        assert profiled < started
+
+    def test_cli_profile_flag_surfaces_hotspots(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        code = main(
+            ["run", "--set", "trace_count=32", "--trace", str(trace),
+             "--profile", "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile hotspots: stage." in out
+        assert "cumulative [s]" in out
+
+    def test_trace_summary_reports_quantile_columns(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        assert main(
+            ["run", "--set", "trace_count=32", "--trace", str(trace),
+             "--store", str(tmp_path / "store")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
