@@ -29,12 +29,18 @@ count, and the reduce preserves shard order.
 from .executors import (
     EXECUTORS,
     Executor,
+    ExecutorError,
     ProcessPoolExecutor,
     SerialExecutor,
+    ShardTimeoutError,
+    default_start_method,
     get_executor,
     register_executor,
+    shutdown_pools,
+    warm_pool,
 )
 from .runner import (
+    ShardTaskError,
     assessment_store_record,
     run_assessment_campaign,
     run_trace_campaign,
@@ -43,6 +49,7 @@ from .runner import (
 from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
 from .store import ArtifactStore, content_key
 from .sweep import SweepReport, build_grid, run_sweep
+from .transport import ShmBlock
 
 __all__ = [
     # sharding
@@ -52,12 +59,20 @@ __all__ = [
     "plan_assessment_shards",
     # executors
     "Executor",
+    "ExecutorError",
+    "ShardTimeoutError",
     "SerialExecutor",
     "ProcessPoolExecutor",
     "EXECUTORS",
     "register_executor",
     "get_executor",
+    "default_start_method",
+    "warm_pool",
+    "shutdown_pools",
+    # transport
+    "ShmBlock",
     # runner
+    "ShardTaskError",
     "run_trace_campaign",
     "run_assessment_campaign",
     "trace_store_record",

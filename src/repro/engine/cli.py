@@ -9,8 +9,9 @@ script by ``pyproject.toml``):
   gate_style=sabl,cvsl --axis noise_std=0,0.01 --axis
   scenario=sbox,present_round``) across worker processes, sharing one
   artifact store, and print/save the sweep report;
-* ``repro store`` -- inspect (``ls``), count (``stats``) or empty
-  (``clear``) an artifact store;
+* ``repro store`` -- inspect (``ls``), count (``stats``), empty
+  (``clear``) or prune crashed writers' staging dirs (``gc``) of an
+  artifact store;
 * ``repro trace`` -- aggregate a JSONL event log (written with
   ``--trace``) into per-span timing, counter, quantile and profile
   tables;
@@ -119,6 +120,12 @@ def _execution_overrides(args: argparse.Namespace, config: FlowConfig) -> FlowCo
         overrides["shard_size"] = args.shard_size
     if args.executor is not None:
         overrides["executor"] = args.executor
+    if getattr(args, "start_method", None) is not None:
+        overrides["start_method"] = args.start_method
+    if getattr(args, "shard_timeout", None) is not None:
+        overrides["shard_timeout"] = args.shard_timeout
+    if getattr(args, "no_shared_memory", False):
+        overrides["shared_memory"] = False
     if args.store is not None:
         overrides["store"] = args.store
     if getattr(args, "mmap", False):
@@ -204,6 +211,25 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--shard-size", type=int, metavar="N", help="traces per shard"
     )
     parser.add_argument("--executor", metavar="NAME", help="registered executor backend")
+    parser.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method for the process executor "
+        "(default: fork where available, else the platform default)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="fail the campaign if any shard takes longer than this "
+        "(a dead worker otherwise hangs the run; default: wait forever)",
+    )
+    parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="return worker results through the pickle pipe instead of "
+        "shared-memory segments (results are bit-identical either way)",
+    )
     parser.add_argument("--store", metavar="DIR", help="artifact store directory")
     parser.add_argument(
         "--mmap", action="store_true", help="memory-map cached trace arrays"
@@ -279,9 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict which stages each cell computes (default: applicable stages)",
     )
 
-    store = commands.add_parser("store", help="inspect or empty an artifact store")
-    store.add_argument("action", choices=("ls", "stats", "clear"))
+    store = commands.add_parser(
+        "store", help="inspect, empty or garbage-collect an artifact store"
+    )
+    store.add_argument("action", choices=("ls", "stats", "clear", "gc"))
     store.add_argument("--store", required=True, metavar="DIR")
+    store.add_argument(
+        "--min-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="gc only: prune orphaned staging dirs at least this old "
+        "(guards live writers; default 0)",
+    )
 
     trace = commands.add_parser(
         "trace", help="aggregate a JSONL event log written with --trace"
@@ -502,6 +538,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    if args.action == "gc":
+        removed = store.gc(min_age_s=args.min_age)
+        print(f"pruned {removed} orphaned staging dirs from {store.root}")
         return 0
     if args.action == "stats":
         stats = store.stats()

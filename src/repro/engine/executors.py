@@ -6,8 +6,54 @@ map-reduce needs.  Two backends ship built in:
 
 * ``"serial"`` -- a plain in-process loop: the debugging backend, and
   the reference the parallel backends must match bit for bit;
-* ``"process"`` -- a ``multiprocessing.Pool`` of worker processes, the
+* ``"process"`` -- a **persistent** pool of worker processes, the
   production backend for multi-core campaign throughput.
+
+Persistent-pool lifecycle
+-------------------------
+
+Worker pools are warm module-level state, keyed by ``(start method,
+worker count)``: the first ``map`` that needs a pool forks (or spawns)
+it, and every later ``map`` with the same shape reuses it -- across
+executor instances, campaigns and sweeps.  That is the whole point:
+pool startup, module imports and the per-process flow/``CompiledProgram``
+caches (:mod:`repro.engine.runner`) are paid once per process lifetime
+instead of once per ``map`` call, which is what used to make 2-worker
+campaigns *slower* than serial.  The pools are reclaimed at interpreter
+exit (``atexit``) or eagerly via :func:`shutdown_pools`; benchmarks call
+:func:`warm_pool` first so pool startup never pollutes a timing window.
+
+The flip side of persistence: a pool forked *before* a backend was
+registered in the parent will not see that registration.  Campaign
+workers resolve scenarios, simulators and assessment methods from their
+own process's registries, so register custom backends at import time (a
+module the workers also import), or call :func:`shutdown_pools` after
+registering to force fresh workers.
+
+Start method
+------------
+
+The pool's ``multiprocessing`` start method is pinned explicitly via
+``get_context`` rather than inherited from whatever the platform (or a
+library) set globally: :func:`default_start_method` picks ``fork``
+wherever the platform offers it (Linux -- cheap startup, workers inherit
+the parent's imports) and falls back to the platform default (``spawn``
+on Windows and current macOS) elsewhere.
+:attr:`repro.flow.ExecutionConfig.start_method` overrides the choice per
+flow; campaign results are bit-identical across start methods because
+shard tasks rebuild everything from the picklable flow spec.
+
+Timeouts
+--------
+
+A plain ``Pool.map`` blocks forever when a worker dies mid-task (the
+pool replaces the process, but the task's result never arrives).
+``map`` therefore consumes results one at a time with a configurable
+per-payload timeout (:attr:`repro.flow.ExecutionConfig.shard_timeout`);
+on expiry the pool is terminated and evicted and
+:class:`ShardTimeoutError` -- carrying the payload index -- is raised,
+so a wedged campaign fails loudly instead of hanging.  Task exceptions,
+by contrast, re-raise in the parent and leave the (healthy) pool warm.
 
 Like the flow's other backends (:mod:`repro.flow.registry`), executors
 are registered by name so alternative pools (clusters, thread pools for
@@ -20,23 +66,55 @@ runner::
 
 from __future__ import annotations
 
+import atexit
+import inspect
 import multiprocessing
-from typing import Callable, List, Sequence, TypeVar
+import multiprocessing.pool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..flow.registry import Registry
 from ..obs import get_observer
 
 __all__ = [
     "Executor",
+    "ExecutorError",
+    "ShardTimeoutError",
     "SerialExecutor",
     "ProcessPoolExecutor",
     "EXECUTORS",
     "register_executor",
     "get_executor",
+    "default_start_method",
+    "warm_pool",
+    "shutdown_pools",
 ]
 
 P = TypeVar("P")
 R = TypeVar("R")
+
+
+class ExecutorError(RuntimeError):
+    """An executor backend failed outside the task function itself."""
+
+
+class ShardTimeoutError(ExecutorError):
+    """One payload exceeded the executor's per-shard timeout.
+
+    Raised in the parent after the worker pool has been terminated and
+    evicted; ``payload_index`` identifies the payload whose result never
+    arrived (typically because its worker died or wedged).
+    """
+
+    def __init__(self, payload_index: int, timeout: float) -> None:
+        self.payload_index = payload_index
+        self.timeout = timeout
+        super().__init__(
+            f"payload {payload_index} did not complete within {timeout:g}s; "
+            f"the worker pool was terminated (worker died or wedged?)"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.payload_index, self.timeout))
 
 
 class Executor:
@@ -45,7 +123,15 @@ class Executor:
     ``map`` must evaluate ``fn`` over every payload and return the
     results in payload order; beyond that, scheduling is the backend's
     business.  Duck typing suffices; this class documents the contract.
+    Backends that can receive results through shared-memory descriptors
+    (worker and parent share an address space for named segments) set
+    ``supports_shared_memory`` so the runner knows it may use the
+    zero-copy transport (:mod:`repro.engine.transport`).
     """
+
+    #: Whether the runner may route bulk results through
+    #: ``multiprocessing.shared_memory`` instead of the result pipe.
+    supports_shared_memory = False
 
     def map(self, fn: Callable[[P], R], payloads: Sequence[P]) -> List[R]:
         raise NotImplementedError  # pragma: no cover - interface only
@@ -58,15 +144,95 @@ class SerialExecutor(Executor):
         return [fn(payload) for payload in payloads]
 
 
+def default_start_method() -> str:
+    """The start method the process executor pins when none is configured.
+
+    ``fork`` wherever the platform offers it: workers inherit the
+    parent's imported modules (cheap startup, registries populated).
+    Platforms without ``fork`` fall back to their own default -- in
+    practice ``spawn`` on Windows and current macOS.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+#: Warm worker pools, keyed by ``(start method, worker count)``.  Module
+#: state on purpose: pools persist across executor instances so flow and
+#: program caches in the workers stay warm for a whole sweep.
+_WARM_POOLS: Dict[Tuple[str, int], multiprocessing.pool.Pool] = {}
+
+
+def _pool(start_method: str, workers: int) -> multiprocessing.pool.Pool:
+    key = (start_method, workers)
+    pool = _WARM_POOLS.get(key)
+    if pool is None:
+        context = multiprocessing.get_context(start_method)
+        pool = context.Pool(processes=workers)
+        _WARM_POOLS[key] = pool
+    return pool
+
+
+def _evict_pool(start_method: str, workers: int) -> None:
+    pool = _WARM_POOLS.pop((start_method, workers), None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def _warm_noop(_value: int) -> None:
+    return None
+
+
+def warm_pool(workers: int, start_method: Optional[str] = None) -> None:
+    """Start (or verify) the warm pool for ``workers`` ahead of use.
+
+    A no-op round trip through every worker proves the pool is up, so a
+    subsequent timed ``map`` (benchmarks!) measures shard execution, not
+    process startup.  ``workers < 2`` needs no pool and returns
+    immediately.
+    """
+    if workers < 2:
+        return
+    method = start_method or default_start_method()
+    _pool(method, workers).map(_warm_noop, range(workers), chunksize=1)
+
+
+def shutdown_pools() -> None:
+    """Terminate every warm worker pool (idempotent).
+
+    Registered with ``atexit``; call it directly to reclaim worker
+    processes early or to force fresh workers after registering new
+    backends in the parent.
+    """
+    while _WARM_POOLS:
+        _, pool = _WARM_POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)
+
+
 class ProcessPoolExecutor(Executor):
-    """A ``multiprocessing.Pool`` of worker processes.
+    """A persistent ``multiprocessing`` pool of worker processes.
 
     ``fn`` and the payloads must be picklable (the runner's task
     functions are module-level for exactly this reason).  Results come
-    back in payload order regardless of completion order.  The pool is
-    created per ``map`` call: campaign shards are long-lived enough that
-    pool startup is noise, and no idle worker processes linger between
-    campaigns.
+    back in payload order regardless of completion order.  The
+    underlying pool is shared module state (see the module docstring for
+    the lifecycle): constructing an executor is cheap and does not start
+    processes; the first ``map`` does, and later maps reuse them.
+
+    Args:
+        workers: pool size; must be >= 1.
+        start_method: ``multiprocessing`` start method to pin
+            (``fork``/``spawn``/``forkserver``); ``None`` uses
+            :func:`default_start_method`.
+        timeout: seconds to wait for *each* payload's result before
+            declaring the pool wedged and raising
+            :class:`ShardTimeoutError`; ``None`` waits forever (a dead
+            worker then hangs the map -- configure a timeout for
+            unattended campaigns).
 
     A one-worker pool is *effectively serial*: ``map`` runs in-process
     (no pool, no pickling) and the runner treats it like the serial
@@ -74,10 +240,28 @@ class ProcessPoolExecutor(Executor):
     ``workers=1`` does not pay process or flow-rebuild overhead.
     """
 
-    def __init__(self, workers: int) -> None:
+    supports_shared_memory = True
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
+        if start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if start_method not in available:
+                raise ValueError(
+                    f"start method {start_method!r} is not available on this "
+                    f"platform; choose from {available}"
+                )
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive or None, got {timeout}")
         self.workers = workers
+        self.start_method = start_method or default_start_method()
+        self.timeout = timeout
 
     @property
     def effectively_serial(self) -> bool:
@@ -88,33 +272,91 @@ class ProcessPoolExecutor(Executor):
             return []
         if self.workers == 1:
             return [fn(payload) for payload in payloads]
-        workers = min(self.workers, len(payloads))
         with get_observer().span(
-            "executor.map", backend="process", workers=workers, payloads=len(payloads)
+            "executor.map",
+            backend="process",
+            workers=min(self.workers, len(payloads)),
+            payloads=len(payloads),
+            start_method=self.start_method,
         ):
-            with multiprocessing.Pool(workers) as pool:
-                return pool.map(fn, payloads, chunksize=1)
+            return self._pool_map(fn, payloads)
+
+    def _pool_map(self, fn: Callable[[P], R], payloads: Sequence[P]) -> List[R]:
+        pool = _pool(self.start_method, self.workers)
+        try:
+            # imap instead of map: results are consumed one at a time,
+            # which is what makes a per-payload timeout possible at all
+            # -- Pool.map offers no way to notice a worker that died
+            # holding a task.
+            iterator = pool.imap(fn, payloads, chunksize=1)
+            results: List[R] = []
+            for index in range(len(payloads)):
+                try:
+                    results.append(iterator.next(self.timeout))
+                except multiprocessing.TimeoutError:
+                    raise ShardTimeoutError(index, self.timeout) from None
+            return results
+        except ShardTimeoutError:
+            # The pool still holds the wedged/lost task: terminate it and
+            # drop it from the warm cache so the next map starts fresh.
+            _evict_pool(self.start_method, self.workers)
+            raise
+        # Task exceptions (re-raised by the pool in the parent) leave the
+        # pool healthy and warm: no eviction.
 
 
 #: Executor factories, keyed by backend name: ``(workers) -> Executor``.
-EXECUTORS: Registry[Callable[[int], Executor]] = Registry("executor")
+EXECUTORS: Registry[Callable[..., Executor]] = Registry("executor")
 
 
 def register_executor(
-    name: str, factory: Callable[[int], Executor], overwrite: bool = False
+    name: str, factory: Callable[..., Executor], overwrite: bool = False
 ) -> None:
     """Register an executor factory under ``name``.
 
     The factory receives the configured worker count and returns an
     :class:`Executor`; the name becomes valid for
-    :attr:`repro.flow.ExecutionConfig.executor` immediately.
+    :attr:`repro.flow.ExecutionConfig.executor` immediately.  Factories
+    may optionally accept keyword options (``start_method``,
+    ``timeout``); :func:`get_executor` only forwards the ones a
+    factory's signature declares, so a plain ``(workers) -> Executor``
+    factory keeps working unchanged.
     """
     EXECUTORS.register(name, factory, overwrite=overwrite)
 
 
-def get_executor(name: str, workers: int = 1) -> Executor:
-    """A fresh executor of the backend registered under ``name``."""
-    return EXECUTORS.get(name)(workers)
+def _accepted_options(
+    factory: Callable[..., Executor], options: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The subset of ``options`` that ``factory``'s signature accepts."""
+    try:
+        parameters = inspect.signature(factory).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return {}
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+        return dict(options)
+    names = {
+        p.name
+        for p in parameters
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return {key: value for key, value in options.items() if key in names}
+
+
+def get_executor(name: str, workers: int = 1, **options: Any) -> Executor:
+    """A fresh executor of the backend registered under ``name``.
+
+    ``options`` (e.g. ``start_method``, ``timeout``) are forwarded only
+    when the registered factory accepts them -- ``None`` values are
+    dropped first -- so minimal factories and fully-optioned ones share
+    one call site in the runner.
+    """
+    factory = EXECUTORS.get(name)
+    options = {key: value for key, value in options.items() if value is not None}
+    if options:
+        options = _accepted_options(factory, options)
+    return factory(workers, **options)
 
 
 register_executor("serial", lambda workers: SerialExecutor())

@@ -8,10 +8,25 @@ deterministic map-reduce:
    plan depends only on the config, never on the worker count;
 2. **map** -- each shard is executed through the configured executor
    backend (:mod:`repro.engine.executors`).  Worker processes rebuild
-   the flow from its config dict (cached per process, so a worker
-   synthesises the circuit once and reuses it across its shards);
+   the flow from its config dict (cached per process -- and the
+   ``process`` executor's pools are *persistent*, so a worker
+   synthesises the circuit once and keeps it warm across every map of
+   the same campaign, sweep cell after sweep cell);
 3. **reduce** -- trace blocks are concatenated in shard order,
    assessment methods are ``merge()``-d in shard order.
+
+Trace shards come back through shared memory when the executor supports
+it (:mod:`repro.engine.transport`): workers park their blocks in named
+segments and return small descriptors, the parent concatenates straight
+out of zero-copy views and unlinks the segments in ``finally`` --
+including on error paths, where the deterministic segment names let the
+parent sweep blocks whose descriptors never arrived.
+
+Worker failures follow one contract on every backend: a shard task that
+raises surfaces in the parent as :class:`ShardTaskError` carrying the
+shard identity and the flow it belonged to, and a shard that exceeds
+``ExecutionConfig.shard_timeout`` fails the campaign loudly instead of
+hanging the map.
 
 Because the plan is executor-independent and the reduce is ordered, a
 campaign run on a 4-worker pool is *bit-identical* to the same campaign
@@ -28,10 +43,20 @@ import numpy as np
 from ..flow.config import ExecutionConfig, FlowConfig
 from ..flow.pipeline import DesignFlow, FlowError
 from ..obs import capture_events
-from .executors import SerialExecutor, get_executor
+from .executors import SerialExecutor, ShardTimeoutError, get_executor
 from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
+from .transport import (
+    ShmBlock,
+    attach_array,
+    export_array,
+    new_transport_token,
+    release_segments,
+    segment_name,
+    sweep_segments,
+)
 
 __all__ = [
+    "ShardTaskError",
     "run_trace_campaign",
     "run_assessment_campaign",
     "trace_store_record",
@@ -39,12 +64,39 @@ __all__ = [
 ]
 
 
+class ShardTaskError(FlowError):
+    """A shard task failed; the message carries shard and flow context.
+
+    Worker-side failures would otherwise surface as a bare re-pickled
+    exception with no hint of *which* shard of *which* campaign died.
+    The runner wraps them -- on the serial backend exactly like on the
+    process pool -- so the parent always sees the shard identity, the
+    flow name and the original error.  ``__reduce__`` keeps the context
+    attributes intact across the pool's exception pickling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_index: Optional[int] = None,
+        flow_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.flow_name = flow_name
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.shard_index, self.flow_name))
+
+
 # ------------------------------------------------------------------ worker side
 
 #: Per-process cache of reconstructed flows, keyed by the flow spec.
-#: A pool worker typically executes several shards of the same campaign;
-#: caching the flow means the circuit is mapped once per process, not
-#: once per shard.
+#: A pool worker typically executes several shards of the same campaign
+#: -- and, the pools being persistent, several campaigns over its
+#: lifetime; caching the flow means the circuit is synthesised (and its
+#: ``CompiledProgram`` built) once per worker process, not once per
+#: shard or once per ``map``.
 _WORKER_FLOWS: Dict[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], DesignFlow] = {}
 
 #: Upper bound on cached worker flows (sweeps cycle through many
@@ -89,9 +141,39 @@ def _flow_from_spec(
     return flow
 
 
+#: Segment-name tags of the trace transport: plaintexts and traces.
+_TRACE_SEGMENT_TAGS = ("p", "t")
+
+
+def _shard_error(
+    stage: str, spec: Tuple[str, Any], shard, exc: BaseException
+) -> ShardTaskError:
+    """Wrap a worker-side failure with shard and flow identity."""
+    config_json, _ = spec
+    name: Any = "?"
+    key: Any = None
+    try:
+        config = json.loads(config_json)
+        name = config.get("name", "?")
+        key = config.get("campaign", {}).get("key")
+    except Exception:  # pragma: no cover - spec is always our own JSON
+        pass
+    campaign = f"flow {name!r}"
+    if isinstance(key, int):
+        campaign += f" (campaign key 0x{key:X})"
+    return ShardTaskError(
+        f"{shard.describe()} of {campaign} failed in the {stage} stage: "
+        f"{type(exc).__name__}: {exc}",
+        shard_index=shard.index,
+        flow_name=name if isinstance(name, str) else None,
+    )
+
+
 def _trace_shard_task(
-    payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], Shard]
-) -> Tuple[np.ndarray, np.ndarray, Optional[List[Dict[str, Any]]]]:
+    payload: Tuple[
+        Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], Shard, Optional[str]
+    ]
+) -> Tuple[Any, Any, Optional[List[Dict[str, Any]]]]:
     """Executed on a pool worker: acquire one trace shard.
 
     Observability events are buffered and returned *with* the shard
@@ -99,26 +181,49 @@ def _trace_shard_task(
     the parent's sinks, and piggybacking on the result keeps the
     executor protocol -- and with it the determinism contract --
     untouched.
+
+    When the payload carries a transport token, the plaintext and trace
+    blocks are parked in shared-memory segments and only their
+    :class:`~repro.engine.transport.ShmBlock` descriptors are returned;
+    the parent owns the segments from that moment on.  Any failure is
+    re-raised as :class:`ShardTaskError` with the shard's identity.
     """
-    spec, shard = payload
-    flow = _flow_from_spec(spec)
-    with capture_events(flow.config.obs) as (_, events):
-        plaintexts, traces = flow._acquire_trace_shard(shard)
+    spec, shard, shm_token = payload
+    try:
+        flow = _flow_from_spec(spec)
+        with capture_events(flow.config.obs) as (_, events):
+            plaintexts, traces = flow._acquire_trace_shard(shard)
+        if shm_token is not None:
+            plaintexts = export_array(
+                plaintexts, segment_name(shm_token, shard.index, "p")
+            )
+            traces = export_array(traces, segment_name(shm_token, shard.index, "t"))
+    except Exception as exc:
+        raise _shard_error("traces", spec, shard, exc) from exc
     return plaintexts, traces, events
 
 
 def _assessment_shard_task(
-    payload: Tuple[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], AssessmentShard]
+    payload: Tuple[
+        Tuple[str, Optional[Tuple[Tuple[str, str], ...]]],
+        AssessmentShard,
+        Optional[str],
+    ]
 ) -> Tuple[Dict[str, Any], int, Optional[List[Dict[str, Any]]]]:
     """Executed on a pool worker: stream one assessment shard.
 
     Like :func:`_trace_shard_task`, buffered observability events ride
-    back with the result.
+    back with the result and failures wrap into :class:`ShardTaskError`.
+    Assessment results are small accumulator objects, so they travel
+    through the ordinary result pipe (the transport token is unused).
     """
-    spec, shard = payload
-    flow = _flow_from_spec(spec)
-    with capture_events(flow.config.obs) as (_, events):
-        methods, chunks = flow._run_assessment_shard(shard)
+    spec, shard, _shm_token = payload
+    try:
+        flow = _flow_from_spec(spec)
+        with capture_events(flow.config.obs) as (_, events):
+            methods, chunks = flow._run_assessment_shard(shard)
+    except Exception as exc:
+        raise _shard_error("assessment", spec, shard, exc) from exc
     return methods, chunks, events
 
 
@@ -130,10 +235,24 @@ def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
 
     The serial executor runs against the *local* flow object (reusing
     its cached circuit); parallel executors ship the flow spec to the
-    workers.  Both paths compute identical shards.
+    workers.  Both paths compute identical shards, and both surface a
+    failed shard as :class:`ShardTaskError` with the same context.
+
+    For trace shards on an executor with ``supports_shared_memory``, the
+    payloads carry a transport token and the returned parts are
+    :class:`~repro.engine.transport.ShmBlock` descriptors (reduced by
+    :func:`_reduce_trace_parts`); on any failure -- a task error, a
+    timeout, an interrupt -- every segment the map could have created is
+    swept before the error propagates.
     """
     execution = flow.config.execution
-    executor = get_executor(execution.resolved_executor, execution.workers)
+    executor = get_executor(
+        execution.resolved_executor,
+        execution.workers,
+        start_method=execution.start_method,
+        timeout=execution.shard_timeout,
+    )
+    stage = "traces" if task is _trace_shard_task else "assessment"
     # Exactly SerialExecutor (not subclasses: custom executors must see
     # every payload through map()) -- or a pool degenerated to one
     # worker -- short-circuits to the local flow, reusing its cached
@@ -141,22 +260,77 @@ def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
     if type(executor) is SerialExecutor or getattr(
         executor, "effectively_serial", False
     ):
-        if task is _trace_shard_task:
-            return [flow._acquire_trace_shard(shard) for shard in shards]
-        return [flow._run_assessment_shard(shard) for shard in shards]
+        local = (
+            flow._acquire_trace_shard
+            if task is _trace_shard_task
+            else flow._run_assessment_shard
+        )
+        results: List[Any] = []
+        for shard in shards:
+            try:
+                results.append(local(shard))
+            except Exception as exc:
+                raise _shard_error(stage, _flow_spec(flow), shard, exc) from exc
+        return results
     spec = _flow_spec(flow)
-    results = executor.map(task, [(spec, shard) for shard in shards])
-    # Workers return ``(*payload, events)``; replay the buffered events
-    # into the parent's observer (in shard order) and hand the reduce
-    # the bare payloads, identical in shape to the serial path.
-    obs = flow._observer()
-    stripped: List[Any] = []
-    for result in results:
-        *payload, events = result
-        if events:
-            obs.replay(events)
-        stripped.append(tuple(payload))
-    return stripped
+    use_shm = (
+        task is _trace_shard_task
+        and execution.shared_memory
+        and getattr(executor, "supports_shared_memory", False)
+    )
+    token = new_transport_token() if use_shm else None
+    payloads = [(spec, shard, token) for shard in shards]
+    try:
+        mapped = executor.map(task, payloads)
+        # Workers return ``(*payload, events)``; replay the buffered
+        # events into the parent's observer (in shard order) and hand
+        # the reduce the bare payloads, identical in shape to the
+        # serial path.
+        obs = flow._observer()
+        stripped: List[Any] = []
+        for result in mapped:
+            *payload, events = result
+            if events:
+                obs.replay(events)
+            stripped.append(tuple(payload))
+        return stripped
+    except ShardTimeoutError as exc:
+        if token is not None:
+            sweep_segments(token, len(shards), _TRACE_SEGMENT_TAGS)
+        raise _shard_error(stage, spec, shards[exc.payload_index], exc) from exc
+    except BaseException:
+        if token is not None:
+            sweep_segments(token, len(shards), _TRACE_SEGMENT_TAGS)
+        raise
+
+
+def _reduce_trace_parts(parts: List[Any]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate trace shard parts, transparently attaching shm blocks.
+
+    Shared-memory descriptors become zero-copy views over the worker's
+    pages, so the single copy of the whole campaign is the concatenation
+    itself -- exactly what the serial path pays.  Every attached segment
+    is closed *and unlinked* in ``finally``: the views do not outlive
+    this function, and neither do the segments.
+    """
+    segments: List[Any] = []
+
+    def _attached(field: Any) -> np.ndarray:
+        if isinstance(field, ShmBlock):
+            array, segment = attach_array(field)
+            segments.append(segment)
+            return array
+        return field
+
+    try:
+        plaintext_blocks = []
+        trace_blocks = []
+        for plaintexts, traces in parts:
+            plaintext_blocks.append(_attached(plaintexts))
+            trace_blocks.append(_attached(traces))
+        return np.concatenate(plaintext_blocks), np.concatenate(trace_blocks)
+    finally:
+        release_segments(segments)
 
 
 def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
@@ -180,8 +354,7 @@ def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
         workers=execution.workers,
     ):
         parts = _map_shards(flow, _trace_shard_task, shards)
-    plaintexts = np.concatenate([part[0] for part in parts])
-    traces = np.concatenate([part[1] for part in parts])
+        plaintexts, traces = _reduce_trace_parts(parts)
     trace_set = TraceSet(
         plaintexts=plaintexts,
         traces=traces,

@@ -43,6 +43,13 @@ class Shard:
         if self.count < 1:
             raise ValueError(f"shard count must be positive, got {self.count}")
 
+    def describe(self) -> str:
+        """Human-readable identity for error messages and logs."""
+        return (
+            f"trace shard {self.index} "
+            f"(traces {self.start}..{self.start + self.count - 1})"
+        )
+
 
 @dataclass(frozen=True)
 class AssessmentShard:
@@ -66,6 +73,13 @@ class AssessmentShard:
             raise ValueError("shard class budgets must be non-negative")
         if self.fixed_count + self.random_count < 1:
             raise ValueError("shard must stream at least one trace")
+
+    def describe(self) -> str:
+        """Human-readable identity for error messages and logs."""
+        return (
+            f"assessment shard {self.index} "
+            f"({self.fixed_count} fixed + {self.random_count} random)"
+        )
 
 
 def _shard_counts(total: int, shard_size: int) -> List[int]:

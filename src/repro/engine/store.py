@@ -31,8 +31,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -128,13 +130,16 @@ class ArtifactStore:
             except OSError:
                 # A concurrent writer won the race for this key; its
                 # artifact is content-equal, keep it.
-                if key in self:
-                    shutil.rmtree(staging, ignore_errors=True)
-                else:
+                if key not in self:
                     raise
-        except Exception:
+        finally:
+            # ``finally``, not ``except Exception``: a KeyboardInterrupt
+            # mid-save must not leak the staging dir either.  After a
+            # successful ``os.replace`` the path no longer exists and
+            # this is a no-op; a writer killed outright (SIGKILL, OOM)
+            # still leaves its dir behind -- that is what :meth:`gc`
+            # prunes.
             shutil.rmtree(staging, ignore_errors=True)
-            raise
         self.writes += 1
         self.bytes_written += entry_bytes
         obs = get_observer()
@@ -273,6 +278,39 @@ class ArtifactStore:
             "writes": self.writes,
             "bytes_written": self.bytes_written,
         }
+
+    #: Staging dirs look like ``.{first 12 hex chars of the key}-{random}``
+    #: (see :meth:`_write_entry`); nothing else in the store starts that
+    #: way, so :meth:`gc` can match them safely.
+    _STAGING_PATTERN = re.compile(r"^\.[0-9a-f]{12}-")
+
+    def gc(self, min_age_s: float = 0.0) -> int:
+        """Prune orphaned staging directories; returns the number removed.
+
+        Atomic writes stage under ``.{key}-*`` and clean up after
+        themselves even when the write raises -- but a writer killed
+        outright (SIGKILL, OOM, power loss) leaves its staging dir
+        behind: invisible to :meth:`entries`, yet holding real bytes.
+        ``min_age_s`` protects concurrent *live* writers: only dirs at
+        least that many seconds old (by mtime) are pruned, so run e.g.
+        ``repro store gc --min-age 3600`` on a store other processes may
+        be writing to.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        now = time.time()
+        for child in self.root.iterdir():
+            if not child.is_dir() or not self._STAGING_PATTERN.match(child.name):
+                continue
+            try:
+                age = now - child.stat().st_mtime
+            except OSError:
+                continue
+            if age >= min_age_s:
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
 
     def clear(self) -> int:
         """Delete every artifact; returns the number removed."""

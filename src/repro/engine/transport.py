@@ -1,0 +1,178 @@
+"""Zero-copy shard result transport over POSIX shared memory.
+
+Returning a trace shard from a pool worker used to mean pickling the
+NumPy blocks through the result pipe -- for wide campaigns the pickle
+bytes dwarf the actual compute.  This module moves the bulk data out of
+band: the worker parks each array in a ``multiprocessing.shared_memory``
+segment and sends back only a tiny :class:`ShmBlock` descriptor; the
+parent reattaches the segment and reconstructs a zero-copy ndarray view
+over the same pages.
+
+Ownership protocol (the part that keeps error paths leak-free):
+
+1. The *parent* picks one random transport token per ``map`` call and
+   every segment name is derived deterministically from it --
+   :func:`segment_name` of ``(token, shard index, field tag)``.  Because
+   the names are enumerable, the parent can sweep away *every* segment a
+   failed map might have created, including segments whose descriptors
+   never made it back (:func:`sweep_segments`).
+2. The *worker* creates the segment, copies its array in, detaches its
+   own resource-tracker registration (ownership transfers to the
+   parent) and closes its mapping before returning the descriptor.
+3. The *parent* attaches (:func:`attach_array`), consumes the view, and
+   releases the segment -- ``close`` + ``unlink`` -- in a ``finally``
+   (:func:`release_segments`).
+
+Segment names stay under 31 characters (the macOS ``shm_open`` limit),
+so the scheme is portable across fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ShmBlock",
+    "new_transport_token",
+    "segment_name",
+    "export_array",
+    "attach_array",
+    "release_segments",
+    "sweep_segments",
+]
+
+
+@dataclass(frozen=True)
+class ShmBlock:
+    """Descriptor of one array parked in a shared-memory segment.
+
+    This -- not the array -- is what travels through the executor's
+    result pipe: a name to reattach by and the shape/dtype needed to
+    rebuild the ndarray view without copying.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def new_transport_token() -> str:
+    """A fresh random token namespacing one ``map`` call's segments."""
+    return secrets.token_hex(4)
+
+
+def segment_name(token: str, index: int, tag: str) -> str:
+    """The deterministic segment name for ``(token, shard, field)``.
+
+    ``rs`` + 8 hex chars + shard index + one-letter tag stays well under
+    the 31-character POSIX name limit and cannot collide across
+    concurrent maps (the token is random per call).
+    """
+    return f"rs{token}-{index}-{tag}"
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Detach ``segment`` from this process's resource tracker.
+
+    Only the *creating* (worker) side needs this: it registers the
+    segment on creation but never unlinks it -- ownership transfers to
+    the parent -- so without unregistering, the worker's tracker would
+    try to unlink the segment again at exit and warn.  The attaching
+    (parent) side must NOT call this: ``SharedMemory.unlink()`` already
+    unregisters, and a second unregister makes the tracker process log
+    a ``KeyError``.  (Python 3.13 grew ``track=False`` for exactly this
+    dance; unregistering by hand keeps 3.10-3.12 quiet too.)
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def export_array(array: np.ndarray, name: str) -> ShmBlock:
+    """Copy ``array`` into a fresh shared segment called ``name``.
+
+    Runs on the worker: after the copy the worker closes its own mapping
+    -- the segment lives on in the kernel until the parent unlinks it.
+    Empty arrays still get a (1-byte) segment so the parent side never
+    special-cases them.
+    """
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(1, array.nbytes)
+    )
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        del view
+    finally:
+        _untrack(segment)
+        segment.close()
+    return ShmBlock(name=name, shape=tuple(array.shape), dtype=array.dtype.str)
+
+
+def attach_array(
+    block: ShmBlock,
+) -> Tuple[np.ndarray, shared_memory.SharedMemory]:
+    """A zero-copy ndarray view of an exported block.
+
+    Runs on the parent.  Returns ``(array, segment)``: the array borrows
+    the segment's buffer, so the caller must keep the segment until the
+    view has been consumed and then hand it to
+    :func:`release_segments`.
+    """
+    segment = shared_memory.SharedMemory(name=block.name)
+    array = np.ndarray(block.shape, dtype=np.dtype(block.dtype), buffer=segment.buf)
+    return array, segment
+
+
+def release_segments(
+    segments: Iterable[shared_memory.SharedMemory], unlink: bool = True
+) -> None:
+    """Close (and by default unlink) attached segments; never raises.
+
+    The ``finally`` half of the ownership protocol: safe on partially
+    attached lists and on segments something else already unlinked.
+    """
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                # Someone else unlinked first; drop our registration so
+                # the tracker does not retry at exit.
+                _untrack(segment)
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+
+def sweep_segments(token: str, count: int, tags: Sequence[str]) -> int:
+    """Unlink every segment a map with ``token`` could have created.
+
+    Error-path cleanup: when a map fails, shards still in flight may
+    have exported segments whose descriptors the parent never received.
+    The deterministic naming scheme makes every candidate enumerable;
+    names that were never created simply do not resolve.  Returns the
+    number of segments removed.
+    """
+    removed = 0
+    for index in range(count):
+        for tag in tags:
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=segment_name(token, index, tag)
+                )
+            except (FileNotFoundError, OSError, ValueError):
+                continue
+            release_segments([segment])
+            removed += 1
+    return removed

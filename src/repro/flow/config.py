@@ -539,6 +539,24 @@ class ExecutionConfig(_ConfigBase):
             (:func:`repro.engine.register_executor`); ``None`` resolves
             to ``"process"`` when ``workers > 1`` and ``"serial"``
             otherwise.
+        start_method: ``multiprocessing`` start method the process
+            executor pins via ``get_context`` -- ``"fork"``,
+            ``"spawn"`` or ``"forkserver"``.  ``None`` picks the
+            documented default (``fork`` where the platform has it,
+            the platform default elsewhere); results are bit-identical
+            across start methods.  Does not activate the engine and is
+            not part of artifact-store keys.
+        shard_timeout: seconds the executor waits for each shard's
+            result before declaring the pool wedged and failing the
+            campaign loudly (a dead worker otherwise hangs the map
+            forever).  ``None`` -- the default -- waits indefinitely.
+            Does not activate the engine and is not part of store keys.
+        shared_memory: let executors that support it return trace
+            shard blocks through ``multiprocessing.shared_memory``
+            segments instead of pickling them through the result pipe
+            (zero-copy transport; on by default).  Transport never
+            changes results -- bit-identity holds either way -- so it
+            too stays out of store keys.
         shard_size: traces per shard.  ``None`` uses
             :data:`DEFAULT_SHARD_SIZE` when execution is active.  The
             shard plan depends only on the campaign (seed, trace count)
@@ -559,16 +577,37 @@ class ExecutionConfig(_ConfigBase):
 
     workers: int = 1
     executor: Optional[str] = None
+    start_method: Optional[str] = None
+    shard_timeout: Optional[float] = None
+    shared_memory: bool = True
     shard_size: Optional[int] = None
     min_shard_size: Optional[int] = None
     store: Optional[str] = None
     store_mmap: bool = False
+
+    #: Start methods ``multiprocessing`` knows about on any platform;
+    #: availability on *this* platform is checked when the executor is
+    #: built, so configs stay portable across operating systems.
+    _START_METHODS = ("fork", "spawn", "forkserver")
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigError(f"workers must be at least 1, got {self.workers}")
         if self.executor is not None and not self.executor:
             raise ConfigError("executor must be a non-empty name or None")
+        if (
+            self.start_method is not None
+            and self.start_method not in self._START_METHODS
+        ):
+            raise ConfigError(
+                f"start_method must be one of {list(self._START_METHODS)} or "
+                f"None, got {self.start_method!r}"
+            )
+        if self.shard_timeout is not None and not self.shard_timeout > 0:
+            raise ConfigError(
+                f"shard_timeout must be positive seconds or None, "
+                f"got {self.shard_timeout}"
+            )
         if self.shard_size is not None and self.shard_size < 1:
             raise ConfigError(
                 f"shard_size must be positive or None, got {self.shard_size}"

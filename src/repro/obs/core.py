@@ -320,6 +320,17 @@ def capture_events(enabled: Any):
     caller ships the returned list back to the parent alongside its
     result.  The buffer holds plain JSON-able dicts, so it pickles
     through the process executor unchanged.
+
+    This decision tree is deliberately independent of *how* the worker
+    started and *when*: a spawn-started worker simply has no installed
+    observer (fresh interpreter) and takes the config-driven buffering
+    path, and a **persistent** pool worker -- which may have been forked
+    before any observer existed in the parent, and which outlives any
+    single campaign -- re-evaluates ``enabled`` from the flow spec on
+    every shard, so the buffered-event piggybacking survives warm pools
+    and every start method unchanged.  Events travel as plain dicts in
+    the shard result tuple regardless of whether the bulk arrays ride
+    the pickle pipe or shared-memory segments.
     """
     config = enabled if not isinstance(enabled, bool) else None
     active = bool(getattr(enabled, "active", enabled))

@@ -1,0 +1,352 @@
+"""Executor hardening: persistent pools, failure injection, transport.
+
+Pins the contracts PR 9 introduced:
+
+* worker pools are persistent (same worker pids across ``map`` calls)
+  and reclaimable via ``shutdown_pools``;
+* a shard task that raises surfaces as :class:`ShardTaskError` with
+  shard and flow context on *both* the serial and process backends;
+* a worker that dies mid-shard trips the per-shard timeout
+  (:class:`ShardTimeoutError`) instead of hanging the map, and the
+  broken pool is evicted so the next map starts fresh;
+* an empty payload list maps to an empty result list on every backend;
+* the shared-memory result transport is bit-identical to the pickle
+  pipe at 2 and 4 workers, for traces and assessment accumulators, and
+  leaks no segments -- on success or failure;
+* spawn-started pools match fork-started pools bit for bit.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ShardTaskError,
+    ShardTimeoutError,
+    default_start_method,
+    get_executor,
+    register_executor,
+    shutdown_pools,
+    warm_pool,
+)
+from repro.engine.executors import _WARM_POOLS, ProcessPoolExecutor, SerialExecutor
+from repro.engine.transport import (
+    ShmBlock,
+    attach_array,
+    export_array,
+    new_transport_token,
+    release_segments,
+    segment_name,
+    sweep_segments,
+)
+from repro.flow import (
+    ASSESSMENTS,
+    AssessmentConfig,
+    CampaignConfig,
+    DesignFlow,
+    ExecutionConfig,
+    FlowConfig,
+    register_assessment,
+)
+
+TRACES = 48
+SHARD = 16
+
+
+def _sbox_flow(execution, **campaign):
+    config = FlowConfig(
+        name="executor_test",
+        campaign=CampaignConfig(
+            key=0xB, trace_count=TRACES, noise_std=0.01, **campaign
+        ),
+        execution=execution,
+    )
+    return DesignFlow.sbox(config=config)
+
+
+# Module-level so they pickle into pool workers.
+
+
+def _echo(payload):
+    return payload
+
+
+def _boom(payload):
+    raise ValueError(f"injected failure for {payload!r}")
+
+
+def _die(_payload):
+    # Simulates a worker killed mid-shard (OOM killer, segfault): the
+    # process vanishes without returning a result or an exception.
+    os._exit(13)
+
+
+def _pid(_payload):
+    return os.getpid()
+
+
+def _leftover_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return glob.glob("/dev/shm/rs*")
+
+
+class TestExecutorBasics:
+    def test_empty_payload_map_is_empty_on_every_backend(self):
+        assert SerialExecutor().map(_echo, []) == []
+        assert get_executor("process", 2).map(_echo, []) == []
+
+    def test_results_come_back_in_payload_order(self):
+        assert get_executor("process", 2).map(_echo, list(range(7))) == list(
+            range(7)
+        )
+
+    def test_task_exception_reraises_in_parent(self):
+        with pytest.raises(ValueError, match="injected failure"):
+            get_executor("process", 2).map(_boom, [1, 2])
+        # The pool survives a task error and stays warm.
+        assert get_executor("process", 2).map(_echo, [3]) == [3]
+
+    def test_serial_task_exception_reraises(self):
+        with pytest.raises(ValueError, match="injected failure"):
+            SerialExecutor().map(_boom, [1])
+
+    def test_invalid_construction_is_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessPoolExecutor(0)
+        with pytest.raises(ValueError, match="start method"):
+            ProcessPoolExecutor(2, start_method="warp-drive")
+        with pytest.raises(ValueError, match="timeout"):
+            ProcessPoolExecutor(2, timeout=0.0)
+
+    def test_get_executor_forwards_only_accepted_options(self):
+        executor = get_executor("process", 2, start_method="fork", timeout=1.5)
+        assert executor.start_method == "fork"
+        assert executor.timeout == 1.5
+        # A minimal (workers)->Executor factory must keep working even
+        # when the runner passes the full option set.
+        register_executor("plain", lambda workers: SerialExecutor())
+        try:
+            executor = get_executor("plain", 2, start_method="fork", timeout=9.0)
+            assert isinstance(executor, SerialExecutor)
+        finally:
+            from repro.engine import EXECUTORS
+
+            EXECUTORS.unregister("plain")
+
+    def test_default_start_method_is_explicit(self):
+        import multiprocessing
+
+        method = default_start_method()
+        assert method in multiprocessing.get_all_start_methods()
+        assert ProcessPoolExecutor(2).start_method == method
+
+
+class TestPersistentPools:
+    def test_pool_persists_across_map_calls(self):
+        executor = get_executor("process", 2)
+        first = set(executor.map(_pid, range(8)))
+        second = set(executor.map(_pid, range(8)))
+        assert first == second  # same worker processes, not a new pool
+        assert not first & {os.getpid()}  # and actually out of process
+
+    def test_two_executor_instances_share_one_pool(self):
+        a = set(get_executor("process", 2).map(_pid, range(8)))
+        b = set(get_executor("process", 2).map(_pid, range(8)))
+        assert a == b
+
+    def test_warm_pool_and_shutdown(self):
+        shutdown_pools()
+        assert _WARM_POOLS == {}
+        warm_pool(2)
+        assert (default_start_method(), 2) in _WARM_POOLS
+        warm_pool(1)  # no pool needed for one worker
+        assert (default_start_method(), 1) not in _WARM_POOLS
+        shutdown_pools()
+        assert _WARM_POOLS == {}
+
+
+class TestWorkerDeath:
+    def test_dead_worker_times_out_instead_of_hanging(self):
+        executor = get_executor("process", 2, timeout=3.0)
+        with pytest.raises(ShardTimeoutError) as excinfo:
+            executor.map(_die, [0, 1])
+        assert excinfo.value.payload_index == 0
+        assert excinfo.value.timeout == 3.0
+        # The broken pool was evicted: a fresh map works again.
+        assert get_executor("process", 2).map(_echo, [7]) == [7]
+
+    def test_timeout_error_pickles_with_context(self):
+        import pickle
+
+        error = pickle.loads(pickle.dumps(ShardTimeoutError(3, 2.5)))
+        assert error.payload_index == 3 and error.timeout == 2.5
+
+
+class TestShardTaskFailureInjection:
+    """A shard task that raises, on both backends, with shard context."""
+
+    @pytest.fixture()
+    def boom_method(self):
+        class BoomMethod:
+            def update(self, chunk):
+                raise RuntimeError("injected assessment failure")
+
+            def merge(self, other):  # pragma: no cover - never reached
+                pass
+
+            def finalize(self):  # pragma: no cover - never reached
+                return {}
+
+        register_assessment("boom", lambda config: BoomMethod())
+        yield
+        ASSESSMENTS.unregister("boom")
+
+    def _assessed_flow(self, execution):
+        config = FlowConfig(
+            name="boom_flow",
+            campaign=CampaignConfig(key=0xB, trace_count=TRACES),
+            assessment=AssessmentConfig(
+                enabled=True, methods=("boom",), traces_per_class=40, chunk_size=16
+            ),
+            execution=execution,
+        )
+        return DesignFlow.sbox(config=config)
+
+    def test_serial_backend_wraps_with_shard_context(self, boom_method):
+        flow = self._assessed_flow(ExecutionConfig(workers=1, shard_size=20))
+        with pytest.raises(ShardTaskError) as excinfo:
+            flow.assessment()
+        assert excinfo.value.shard_index == 0
+        assert excinfo.value.flow_name == "boom_flow"
+        assert "assessment shard 0" in str(excinfo.value)
+
+    def test_process_backend_wraps_with_shard_context(self, boom_method):
+        # Persistent pools forked before the fixture ran do not know the
+        # "boom" method; pools forked after do.  Either way the task
+        # fails *in the worker* and must surface as a ShardTaskError
+        # carrying the shard identity -- that indifference is the point.
+        flow = self._assessed_flow(ExecutionConfig(workers=2, shard_size=20))
+        with pytest.raises(ShardTaskError) as excinfo:
+            flow.assessment()
+        assert excinfo.value.shard_index is not None
+        assert excinfo.value.flow_name == "boom_flow"
+        assert "assessment shard" in str(excinfo.value)
+
+    def test_shard_task_error_pickles_with_context(self):
+        import pickle
+
+        error = pickle.loads(
+            pickle.dumps(ShardTaskError("msg", shard_index=4, flow_name="f"))
+        )
+        assert error.shard_index == 4 and error.flow_name == "f"
+
+
+class TestSharedMemoryTransport:
+    def test_export_attach_round_trip(self):
+        token = new_transport_token()
+        array = np.arange(24, dtype=np.float64).reshape(4, 6)
+        block = export_array(array, segment_name(token, 0, "t"))
+        assert isinstance(block, ShmBlock)
+        view, segment = attach_array(block)
+        try:
+            assert np.array_equal(view, array)
+        finally:
+            release_segments([segment])
+        assert _leftover_segments() == []
+
+    def test_empty_array_round_trip(self):
+        token = new_transport_token()
+        block = export_array(np.empty((0, 3)), segment_name(token, 0, "p"))
+        view, segment = attach_array(block)
+        try:
+            assert view.shape == (0, 3)
+        finally:
+            release_segments([segment])
+
+    def test_sweep_removes_unclaimed_segments(self):
+        token = new_transport_token()
+        export_array(np.ones(8), segment_name(token, 0, "p"))
+        export_array(np.ones(8), segment_name(token, 2, "t"))
+        assert sweep_segments(token, 5, ("p", "t")) == 2
+        assert sweep_segments(token, 5, ("p", "t")) == 0
+        assert _leftover_segments() == []
+
+    def test_segment_names_fit_the_posix_limit(self):
+        # macOS rejects names longer than 31 chars (incl. the leading /).
+        name = segment_name(new_transport_token(), 999999, "p")
+        assert len(name) + 1 <= 31
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_trace_bit_identity_shm_vs_pipe_vs_serial(self, workers):
+        serial = _sbox_flow(ExecutionConfig(workers=1, shard_size=SHARD)).traces()
+        shm = _sbox_flow(
+            ExecutionConfig(workers=workers, shard_size=SHARD)
+        ).traces()
+        piped = _sbox_flow(
+            ExecutionConfig(workers=workers, shard_size=SHARD, shared_memory=False)
+        ).traces()
+        assert np.array_equal(serial.traces, shm.traces)
+        assert np.array_equal(serial.plaintexts, shm.plaintexts)
+        assert np.array_equal(serial.traces, piped.traces)
+        assert np.array_equal(serial.plaintexts, piped.plaintexts)
+        assert _leftover_segments() == []
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_assessment_bit_identity_across_transport(self, workers):
+        def outcome(execution):
+            config = FlowConfig(
+                name="executor_test",
+                campaign=CampaignConfig(key=0xB, trace_count=TRACES),
+                assessment=AssessmentConfig(
+                    enabled=True, traces_per_class=60, chunk_size=20
+                ),
+                execution=execution,
+            )
+            return DesignFlow.sbox(config=config).assessment()["ttest"]
+
+        serial = outcome(ExecutionConfig(workers=1, shard_size=40))
+        parallel = outcome(ExecutionConfig(workers=workers, shard_size=40))
+        piped = outcome(
+            ExecutionConfig(workers=workers, shard_size=40, shared_memory=False)
+        )
+        for order in (1, 2):
+            assert serial.test(order).statistic == parallel.test(order).statistic
+            assert serial.test(order).statistic == piped.test(order).statistic
+        assert _leftover_segments() == []
+
+    def test_failed_map_leaves_no_segments(self, tmp_path):
+        executor = get_executor("process", 2, timeout=3.0)
+        with pytest.raises(ShardTimeoutError):
+            executor.map(_die, [0, 1])
+        assert _leftover_segments() == []
+
+
+class TestStartMethods:
+    def test_spawn_matches_fork_and_serial_bitwise(self):
+        serial = _sbox_flow(ExecutionConfig(workers=1, shard_size=SHARD)).traces()
+        fork = _sbox_flow(
+            ExecutionConfig(workers=2, shard_size=SHARD, start_method="fork")
+        ).traces()
+        spawn = _sbox_flow(
+            ExecutionConfig(workers=2, shard_size=SHARD, start_method="spawn")
+        ).traces()
+        assert np.array_equal(serial.traces, fork.traces)
+        assert np.array_equal(serial.traces, spawn.traces)
+        assert np.array_equal(serial.plaintexts, spawn.plaintexts)
+        assert _leftover_segments() == []
+
+    def test_execution_config_validates_the_start_method(self):
+        from repro.flow.config import ConfigError
+
+        with pytest.raises(ConfigError, match="start_method"):
+            ExecutionConfig(start_method="threads")
+        with pytest.raises(ConfigError, match="shard_timeout"):
+            ExecutionConfig(shard_timeout=-1.0)
+        # Round-trips like every other config field.
+        config = ExecutionConfig(
+            workers=2, start_method="spawn", shard_timeout=30.0, shared_memory=False
+        )
+        assert ExecutionConfig.from_dict(config.to_dict()) == config

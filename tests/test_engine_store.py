@@ -268,3 +268,69 @@ class TestPipelineCaching:
         cached = second.traces()
         assert second.result("traces").details["store"] == "hit"
         assert np.array_equal(cached.traces, original.traces)
+
+
+class TestStagingHygiene:
+    """Atomic writes must not leak staging dirs, and gc prunes orphans."""
+
+    def test_failed_write_cleans_its_staging_dir(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "store")
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.engine.store.np.save", explode)
+        with pytest.raises(OSError, match="disk full"):
+            store.put_traceset("a" * 64, _traceset(), {"stage": "traces"})
+        leftovers = [p.name for p in store.root.iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+        assert store.entries() == []
+
+    def test_interrupted_write_cleans_its_staging_dir(self, tmp_path, monkeypatch):
+        # KeyboardInterrupt is a BaseException: only a ``finally`` --
+        # not ``except Exception`` -- catches it on the way out.
+        store = ArtifactStore(tmp_path / "store")
+
+        def interrupt(*_args, **_kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.engine.store.json.dump", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            store.put_traceset("b" * 64, _traceset(), {"stage": "traces"})
+        leftovers = [p.name for p in store.root.iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+
+    def test_gc_prunes_only_orphaned_staging_dirs(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put_traceset("c" * 64, _traceset(), {"stage": "traces"})
+        orphan = store.root / (".%s-dead0" % ("c" * 12))
+        orphan.mkdir()
+        (orphan / "traces.npy").write_bytes(b"partial")
+        unrelated = store.root / ".not-a-staging-dir"
+        unrelated.mkdir()
+        assert store.gc() == 1
+        assert not orphan.exists()
+        assert unrelated.exists()  # only the staging pattern is pruned
+        assert store.get_traceset("c" * 64) is not None
+
+    def test_gc_min_age_spares_live_writers(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.root.mkdir(parents=True, exist_ok=True)
+        fresh = store.root / (".%s-live0" % ("d" * 12))
+        fresh.mkdir()
+        assert store.gc(min_age_s=3600.0) == 0
+        assert fresh.exists()
+        assert store.gc(min_age_s=0.0) == 1
+
+    def test_gc_on_missing_store_is_a_noop(self, tmp_path):
+        assert ArtifactStore(tmp_path / "nowhere").gc() == 0
+
+    def test_cli_store_gc(self, tmp_path, capsys):
+        from repro.engine.cli import main
+
+        store = ArtifactStore(tmp_path / "store")
+        store.root.mkdir(parents=True, exist_ok=True)
+        (store.root / (".%s-dead0" % ("e" * 12))).mkdir()
+        assert main(["store", "gc", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 orphaned staging dirs" in out
