@@ -38,12 +38,14 @@ from .executors import (
     register_executor,
     shutdown_pools,
     warm_pool,
+    warm_pool_stats,
 )
 from .runner import (
     ShardTaskError,
     assessment_store_record,
     run_assessment_campaign,
     run_trace_campaign,
+    sample_resource_gauges,
     trace_store_record,
 )
 from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
@@ -68,6 +70,7 @@ __all__ = [
     "get_executor",
     "default_start_method",
     "warm_pool",
+    "warm_pool_stats",
     "shutdown_pools",
     # transport
     "ShmBlock",
@@ -77,6 +80,7 @@ __all__ = [
     "run_assessment_campaign",
     "trace_store_record",
     "assessment_store_record",
+    "sample_resource_gauges",
     # store
     "ArtifactStore",
     "content_key",

@@ -14,7 +14,10 @@ script by ``pyproject.toml``):
   artifact store;
 * ``repro trace`` -- aggregate a JSONL event log (written with
   ``--trace``) into per-span timing, counter, quantile and profile
-  tables;
+  tables; ``--follow`` tails a trace still being written;
+* ``repro top`` -- live status of a running campaign tailed from its
+  growing trace file: progress/ETA, per-worker heartbeat table and
+  busiest spans, refreshed in place on a TTY;
 * ``repro bench`` -- list (``ls``), run (``run``), review (``history``)
   and regression-gate (``compare --gate``) the registered benchmarks
   and their append-only ``PERF_HISTORY.jsonl`` trajectory.
@@ -36,12 +39,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from ..flow.config import ConfigError, FlowConfig
 from ..flow.pipeline import DesignFlow, FlowError
 from ..flow.registry import UnknownBackendError
-from ..obs import ObsError, observer_from_config, summarize_trace_file, use_observer
+from ..obs import (
+    ObsError,
+    ProgressAggregator,
+    TraceSummary,
+    iter_trace_events,
+    observer_from_config,
+    summarize_trace_file,
+    use_observer,
+)
 from ..perf import (
     BENCHMARKS,
     PerfError,
@@ -61,7 +73,7 @@ from ..reporting.perf import (
     format_history,
 )
 from ..reporting.tables import format_table
-from ..reporting.trace import format_trace_summary
+from ..reporting.trace import format_live_status, format_trace_summary
 from .store import ArtifactStore
 from .sweep import _apply_override, run_sweep
 
@@ -144,7 +156,16 @@ def _obs_overrides(args: argparse.Namespace, config: FlowConfig) -> FlowConfig:
     verbose = getattr(args, "verbose", 0)
     quiet = getattr(args, "quiet", 0)
     if getattr(args, "progress", False) or verbose:
+        # Progress rendering rides the live channel, so --progress
+        # implies --live (parallel runs would otherwise stay dark
+        # until shards complete).
         overrides["progress"] = True
+        overrides["live"] = True
+    if getattr(args, "live", False):
+        overrides["live"] = True
+    if getattr(args, "heartbeat", None) is not None:
+        overrides["heartbeat_s"] = args.heartbeat
+        overrides["live"] = True
     if verbose or quiet:
         overrides["verbosity"] = max(0, min(3, obs.verbosity + verbose - quiet))
     if getattr(args, "profile", False):
@@ -250,7 +271,22 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress",
         action="store_true",
-        help="stream human-readable progress lines to stderr while running",
+        help="render a live progress line (done/total, rate, ETA, worker "
+        "heartbeat age) on stderr while running; implies --live",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="stream worker heartbeats and sampled events to the parent "
+        "mid-shard over the executor's live channel (results stay "
+        "bit-identical; the buffered trace stays canonical)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        metavar="SECONDS",
+        help="worker heartbeat interval on the live channel "
+        "(implies --live; default 1.0)",
     )
     parser.add_argument(
         "--profile",
@@ -325,9 +361,52 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("action", choices=("summary",))
     trace.add_argument("file", metavar="FILE", help="the JSONL event log")
     trace.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep reading as the trace grows (status lines on stderr "
+        "while tailing), then print the summary on Ctrl-C or --duration",
+    )
+    trace.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="status refresh period while following (default 1.0)",
+    )
+    trace.add_argument(
+        "--duration",
+        type=float,
+        metavar="SECONDS",
+        help="stop following after this long (default: until Ctrl-C)",
+    )
+    trace.add_argument(
         "--json",
         metavar="FILE",
         help="also write the aggregate as JSON to FILE ('-' for stdout)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live status of a running campaign, tailed from its --trace file",
+    )
+    top.add_argument("file", metavar="FILE", help="the JSONL event log being written")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="display refresh period (default 1.0)",
+    )
+    top.add_argument(
+        "--duration",
+        type=float,
+        metavar="SECONDS",
+        help="stop tailing after this long (default: until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="read the trace once, print the status block, and exit",
     )
 
     bench = commands.add_parser(
@@ -584,8 +663,62 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_trace(
+    path: str,
+    follow: bool,
+    interval: float = 1.0,
+    duration: Optional[float] = None,
+    on_status: Optional[Callable[[TraceSummary, ProgressAggregator, Optional[float]], None]] = None,
+) -> Tuple[TraceSummary, ProgressAggregator, Optional[float]]:
+    """Consume a (possibly growing) trace into summary + progress state.
+
+    Events feed both the :class:`TraceSummary` aggregate and a
+    :class:`ProgressAggregator` driven by the events' own file
+    timestamps, so rates and heartbeat ages replay exactly as recorded.
+    ``on_status`` fires at most every ``interval`` seconds of wall time;
+    ``duration`` bounds the follow (otherwise it runs until Ctrl-C,
+    which ends the watch cleanly rather than raising).
+    """
+    summary = TraceSummary()
+    aggregator = ProgressAggregator(None, unit="traces")
+    last_ts: Optional[float] = None
+    deadline = time.monotonic() + duration if duration is not None else None
+
+    def stop() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    interval = max(0.05, float(interval))
+    next_status = time.monotonic()
+    try:
+        for event in iter_trace_events(
+            path, follow=follow, poll_s=min(0.2, interval), stop=stop
+        ):
+            summary.add(event)
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)):
+                last_ts = float(ts)
+                aggregator.note_event(event, last_ts)
+            if on_status is not None and time.monotonic() >= next_status:
+                next_status = time.monotonic() + interval
+                on_status(summary, aggregator, last_ts)
+    except KeyboardInterrupt:
+        pass
+    return summary, aggregator, last_ts
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    summary = summarize_trace_file(args.file)
+    if getattr(args, "follow", False):
+        summary, _, _ = _watch_trace(
+            args.file,
+            follow=True,
+            interval=args.interval,
+            duration=args.duration,
+            on_status=lambda _s, agg, ts: print(
+                agg.render_line(ts), file=sys.stderr
+            ),
+        )
+    else:
+        summary = summarize_trace_file(args.file)
     print(format_trace_summary(summary), file=_human_stream(args))
     if args.json == "-":
         sys.stdout.write(json.dumps(summary.to_dict(), indent=2))
@@ -595,6 +728,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             json.dump(summary.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"\nsummary written to {args.json}", file=_human_stream(args))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    if args.once:
+        summary, aggregator, last_ts = _watch_trace(args.file, follow=False)
+        print(format_live_status(summary, aggregator, now=last_ts))
+        return 0
+    tty = sys.stdout.isatty()
+
+    def on_status(
+        summary: TraceSummary,
+        aggregator: ProgressAggregator,
+        last_ts: Optional[float],
+    ) -> None:
+        if tty:
+            # Full-screen refresh, top-style: clear, home, redraw.
+            sys.stdout.write(
+                "\x1b[2J\x1b[H"
+                + format_live_status(summary, aggregator, now=last_ts)
+                + "\n"
+            )
+            sys.stdout.flush()
+        else:
+            print(aggregator.render_line(last_ts), flush=True)
+
+    summary, aggregator, last_ts = _watch_trace(
+        args.file,
+        follow=True,
+        interval=args.interval,
+        duration=args.duration,
+        on_status=on_status,
+    )
+    if not tty:
+        print(format_live_status(summary, aggregator, now=last_ts))
+    else:
+        on_status(summary, aggregator, last_ts)
     return 0
 
 
@@ -716,10 +886,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "store": _cmd_store,
         "trace": _cmd_trace,
+        "top": _cmd_top,
         "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print(file=sys.stderr)
+        return 130
     except (
         ConfigError,
         FlowError,

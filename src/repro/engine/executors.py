@@ -70,10 +70,13 @@ import atexit
 import inspect
 import multiprocessing
 import multiprocessing.pool
+import sys
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..flow.registry import Registry
 from ..obs import get_observer
+from ..obs import live as obs_live
 
 __all__ = [
     "Executor",
@@ -86,6 +89,7 @@ __all__ = [
     "get_executor",
     "default_start_method",
     "warm_pool",
+    "warm_pool_stats",
     "shutdown_pools",
 ]
 
@@ -103,18 +107,49 @@ class ShardTimeoutError(ExecutorError):
     Raised in the parent after the worker pool has been terminated and
     evicted; ``payload_index`` identifies the payload whose result never
     arrived (typically because its worker died or wedged).
+
+    When the map ran with the live channel attached, ``heartbeat_age``
+    carries the seconds since the last ``worker.heartbeat`` arrived --
+    the difference between "the workers are dead" (stale heartbeats)
+    and "the shard is just slower than the timeout" (fresh ones), which
+    the message spells out.  Without live telemetry both fields are
+    ``None`` and the message is the classic one.
     """
 
-    def __init__(self, payload_index: int, timeout: float) -> None:
+    def __init__(
+        self,
+        payload_index: int,
+        timeout: float,
+        heartbeat_age: Optional[float] = None,
+        heartbeat_s: Optional[float] = None,
+    ) -> None:
         self.payload_index = payload_index
         self.timeout = timeout
-        super().__init__(
+        self.heartbeat_age = heartbeat_age
+        self.heartbeat_s = heartbeat_s
+        message = (
             f"payload {payload_index} did not complete within {timeout:g}s; "
             f"the worker pool was terminated (worker died or wedged?)"
         )
+        if heartbeat_age is not None:
+            # Within a few missed beats the worker was demonstrably alive
+            # moments ago; far beyond that, it is presumed dead.
+            interval = heartbeat_s if heartbeat_s else 1.0
+            verdict = (
+                "alive but slow?"
+                if heartbeat_age <= 3.0 * interval
+                else "dead since then?"
+            )
+            message += (
+                f"; last worker heartbeat was {heartbeat_age:.1f}s ago ({verdict})"
+            )
+        super().__init__(message)
 
     def __reduce__(self):
-        return (type(self), (self.payload_index, self.timeout))
+        return (
+            type(self),
+            (self.payload_index, self.timeout, self.heartbeat_age, self.heartbeat_s),
+        )
 
 
 class Executor:
@@ -132,6 +167,12 @@ class Executor:
     #: Whether the runner may route bulk results through
     #: ``multiprocessing.shared_memory`` instead of the result pipe.
     supports_shared_memory = False
+
+    #: Whether the backend can stream worker events to the parent
+    #: mid-map through a live channel (:mod:`repro.obs.live`).  Backends
+    #: that can set this and honour the ``on_live_events`` /
+    #: ``heartbeat_s`` attributes the runner assigns before ``map``.
+    supports_live_events = False
 
     def map(self, fn: Callable[[P], R], payloads: Sequence[P]) -> List[R]:
         raise NotImplementedError  # pragma: no cover - interface only
@@ -161,22 +202,40 @@ def default_start_method() -> str:
 #: program caches in the workers stay warm for a whole sweep.
 _WARM_POOLS: Dict[Tuple[str, int], multiprocessing.pool.Pool] = {}
 
+#: Each warm pool's live event channel, same key.  The queue is built
+#: from the pool's own context *before* the pool (workers inherit it
+#: through the initializer) and lives exactly as long as its pool.
+_POOL_CHANNELS: Dict[Tuple[str, int], obs_live.LiveChannel] = {}
+
 
 def _pool(start_method: str, workers: int) -> multiprocessing.pool.Pool:
     key = (start_method, workers)
     pool = _WARM_POOLS.get(key)
     if pool is None:
         context = multiprocessing.get_context(start_method)
-        pool = context.Pool(processes=workers)
+        queue = context.Queue(obs_live.LIVE_QUEUE_SIZE)
+        pool = context.Pool(
+            processes=workers,
+            initializer=obs_live.install_worker_channel,
+            initargs=(queue,),
+        )
         _WARM_POOLS[key] = pool
+        _POOL_CHANNELS[key] = obs_live.LiveChannel(queue)
     return pool
+
+
+def _pool_channel(start_method: str, workers: int) -> Optional[obs_live.LiveChannel]:
+    return _POOL_CHANNELS.get((start_method, workers))
 
 
 def _evict_pool(start_method: str, workers: int) -> None:
     pool = _WARM_POOLS.pop((start_method, workers), None)
+    channel = _POOL_CHANNELS.pop((start_method, workers), None)
     if pool is not None:
         pool.terminate()
         pool.join()
+    if channel is not None:
+        channel.close()
 
 
 def _warm_noop(_value: int) -> None:
@@ -197,6 +256,14 @@ def warm_pool(workers: int, start_method: Optional[str] = None) -> None:
     _pool(method, workers).map(_warm_noop, range(workers), chunksize=1)
 
 
+def warm_pool_stats() -> Tuple[int, int]:
+    """``(warm pool count, worker processes across them)`` right now.
+
+    A resource gauge for the live telemetry; reads module state only.
+    """
+    return len(_WARM_POOLS), sum(key[1] for key in _WARM_POOLS)
+
+
 def shutdown_pools() -> None:
     """Terminate every warm worker pool (idempotent).
 
@@ -205,9 +272,15 @@ def shutdown_pools() -> None:
     backends in the parent.
     """
     while _WARM_POOLS:
-        _, pool = _WARM_POOLS.popitem()
+        key, pool = _WARM_POOLS.popitem()
+        channel = _POOL_CHANNELS.pop(key, None)
         pool.terminate()
         pool.join()
+        if channel is not None:
+            channel.close()
+    while _POOL_CHANNELS:  # channels orphaned by direct _WARM_POOLS edits
+        _, channel = _POOL_CHANNELS.popitem()
+        channel.close()
 
 
 atexit.register(shutdown_pools)
@@ -241,6 +314,12 @@ class ProcessPoolExecutor(Executor):
     """
 
     supports_shared_memory = True
+    supports_live_events = True
+
+    #: How long ``_pool_map`` waits on the result iterator between live
+    #: channel drains when a handler is attached.  Short enough that
+    #: heartbeats surface promptly; long enough to stay off the hot path.
+    live_poll_s = 0.1
 
     def __init__(
         self,
@@ -262,6 +341,16 @@ class ProcessPoolExecutor(Executor):
         self.workers = workers
         self.start_method = start_method or default_start_method()
         self.timeout = timeout
+        #: Optional live-event callback the runner attaches before
+        #: ``map``: called with each non-empty batch of events drained
+        #: from the pool's live channel *while* the map is in flight.
+        self.on_live_events: Optional[
+            Callable[[List[Dict[str, Any]]], None]
+        ] = None
+        #: The configured worker heartbeat interval (seconds); only used
+        #: to phrase :class:`ShardTimeoutError`'s liveness verdict.
+        self.heartbeat_s: Optional[float] = None
+        self._handler_warned = False
 
     @property
     def effectively_serial(self) -> bool:
@@ -283,6 +372,34 @@ class ProcessPoolExecutor(Executor):
 
     def _pool_map(self, fn: Callable[[P], R], payloads: Sequence[P]) -> List[R]:
         pool = _pool(self.start_method, self.workers)
+        channel = _pool_channel(self.start_method, self.workers)
+        streaming = channel is not None and self.on_live_events is not None
+        if streaming:
+            channel.drain()  # drop leftovers a previous map never consumed
+        last_heartbeat: List[float] = []
+
+        def pump() -> None:
+            """Drain the live channel into the handler (never raises)."""
+            nonlocal streaming
+            if not streaming:
+                return
+            events = channel.drain()
+            if not events:
+                return
+            if any(e.get("kind") == "worker.heartbeat" for e in events):
+                last_heartbeat[:] = [time.monotonic()]
+            try:
+                self.on_live_events(events)
+            except Exception as error:  # noqa: BLE001 - obs must not kill maps
+                streaming = False
+                if not self._handler_warned:
+                    self._handler_warned = True
+                    print(
+                        f"repro: live event handler disabled after error: "
+                        f"{type(error).__name__}: {error}",
+                        file=sys.stderr,
+                    )
+
         try:
             # imap instead of map: results are consumed one at a time,
             # which is what makes a per-payload timeout possible at all
@@ -292,9 +409,24 @@ class ProcessPoolExecutor(Executor):
             results: List[R] = []
             for index in range(len(payloads)):
                 try:
-                    results.append(iterator.next(self.timeout))
+                    if streaming:
+                        results.append(self._next_streaming(iterator, pump))
+                    else:
+                        results.append(iterator.next(self.timeout))
                 except multiprocessing.TimeoutError:
-                    raise ShardTimeoutError(index, self.timeout) from None
+                    age = (
+                        time.monotonic() - last_heartbeat[0]
+                        if last_heartbeat
+                        else None
+                    )
+                    raise ShardTimeoutError(
+                        index,
+                        self.timeout,
+                        heartbeat_age=age,
+                        heartbeat_s=self.heartbeat_s,
+                    ) from None
+                pump()
+            pump()
             return results
         except ShardTimeoutError:
             # The pool still holds the wedged/lost task: terminate it and
@@ -303,6 +435,30 @@ class ProcessPoolExecutor(Executor):
             raise
         # Task exceptions (re-raised by the pool in the parent) leave the
         # pool healthy and warm: no eviction.
+
+    def _next_streaming(self, iterator: Any, pump: Callable[[], None]) -> Any:
+        """One result off ``iterator``, draining the live channel while
+        waiting.
+
+        The per-payload timeout contract is preserved exactly: the wait
+        is chopped into ``live_poll_s`` slices with a pump between them,
+        and ``multiprocessing.TimeoutError`` propagates once the total
+        exceeds ``self.timeout``.
+        """
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        while True:
+            wait = self.live_poll_s
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError
+                wait = min(wait, remaining)
+            try:
+                return iterator.next(wait)
+            except multiprocessing.TimeoutError:
+                pump()
 
 
 #: Executor factories, keyed by backend name: ``(workers) -> Executor``.

@@ -42,8 +42,13 @@ import numpy as np
 
 from ..flow.config import ExecutionConfig, FlowConfig
 from ..flow.pipeline import DesignFlow, FlowError
-from ..obs import capture_events
-from .executors import SerialExecutor, ShardTimeoutError, get_executor
+from ..obs import LiveDispatcher, capture_events, rss_bytes, worker_task
+from .executors import (
+    SerialExecutor,
+    ShardTimeoutError,
+    get_executor,
+    warm_pool_stats,
+)
 from .sharding import AssessmentShard, Shard, plan_assessment_shards, plan_shards
 from .transport import (
     ShmBlock,
@@ -52,6 +57,7 @@ from .transport import (
     new_transport_token,
     release_segments,
     segment_name,
+    segment_stats,
     sweep_segments,
 )
 
@@ -61,6 +67,7 @@ __all__ = [
     "run_assessment_campaign",
     "trace_store_record",
     "assessment_store_record",
+    "sample_resource_gauges",
 ]
 
 
@@ -191,8 +198,9 @@ def _trace_shard_task(
     spec, shard, shm_token = payload
     try:
         flow = _flow_from_spec(spec)
-        with capture_events(flow.config.obs) as (_, events):
-            plaintexts, traces = flow._acquire_trace_shard(shard)
+        with worker_task("traces", shard=shard.index, traces=shard.count):
+            with capture_events(flow.config.obs) as (_, events):
+                plaintexts, traces = flow._acquire_trace_shard(shard)
         if shm_token is not None:
             plaintexts = export_array(
                 plaintexts, segment_name(shm_token, shard.index, "p")
@@ -220,14 +228,84 @@ def _assessment_shard_task(
     spec, shard, _shm_token = payload
     try:
         flow = _flow_from_spec(spec)
-        with capture_events(flow.config.obs) as (_, events):
-            methods, chunks = flow._run_assessment_shard(shard)
+        with worker_task(
+            "assessment",
+            shard=shard.index,
+            traces=shard.fixed_count + shard.random_count,
+        ):
+            with capture_events(flow.config.obs) as (_, events):
+                methods, chunks = flow._run_assessment_shard(shard)
     except Exception as exc:
         raise _shard_error("assessment", spec, shard, exc) from exc
     return methods, chunks, events
 
 
 # ------------------------------------------------------------------ map-reduce
+
+
+def _sample_gauges(obs: Any, store: Any = None) -> None:
+    """Sample engine resource state into ``obs`` (no-op when inactive)."""
+    if not obs.active:
+        return
+    segments, segment_bytes = segment_stats()
+    obs.gauge("transport.segments", segments)
+    obs.gauge("transport.segment_bytes", segment_bytes)
+    pools, pool_workers = warm_pool_stats()
+    obs.gauge("executor.pools", pools)
+    obs.gauge("executor.pool_workers", pool_workers)
+    obs.gauge("proc.rss_mb", round(rss_bytes() / 1e6, 1))
+    if store is not None:
+        stats = store.stats()
+        obs.gauge("store.entries", stats["entries"])
+        obs.gauge("store.bytes", stats["bytes"])
+
+
+def sample_resource_gauges(flow: DesignFlow) -> None:
+    """Sample the engine's resource state into the flow observer.
+
+    Gauges: parent-attached shared-memory segments
+    (``transport.segments`` / ``transport.segment_bytes``), warm pool
+    state (``executor.pools`` / ``executor.pool_workers``), the artifact
+    store (``store.entries`` / ``store.bytes``, when one is configured)
+    and the parent's RSS (``proc.rss_mb``).  Observability only --
+    reads engine state, never changes it; a no-op when the flow's
+    observer is inactive.
+    """
+    _sample_gauges(flow._observer(), flow._artifact_store())
+
+
+def _live_dispatcher(flow: DesignFlow, executor: Any, task, shards) -> Optional[Any]:
+    """Attach a live dispatcher to ``executor`` when the config asks.
+
+    Live streaming needs all three: the config's ``obs.live`` flag, an
+    executor that supports mid-map event delivery, and actual
+    parallelism (the serial paths emit in-process, already live).  The
+    caller must detach the handler and call ``finish()`` in a
+    ``finally``.
+    """
+    obs_cfg = flow.config.obs
+    if (
+        not getattr(obs_cfg, "live", False)
+        or not getattr(executor, "supports_live_events", False)
+        or getattr(executor, "effectively_serial", False)
+    ):
+        return None
+    if task is _trace_shard_task:
+        total, unit = sum(shard.count for shard in shards), "traces"
+    else:
+        total, unit = len(shards), "shards"
+    dispatcher = LiveDispatcher(
+        flow._observer(),
+        total=total,
+        unit=unit,
+        # -q (verbosity 0) silences the rendered line like it silences
+        # the console sink; the progress *events* still flow.
+        progress=obs_cfg.progress and getattr(obs_cfg, "verbosity", 1) > 0,
+        resource_sampler=lambda: sample_resource_gauges(flow),
+    )
+    executor.on_live_events = dispatcher
+    executor.heartbeat_s = obs_cfg.heartbeat_s
+    return dispatcher
 
 
 def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
@@ -280,12 +358,15 @@ def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
     )
     token = new_transport_token() if use_shm else None
     payloads = [(spec, shard, token) for shard in shards]
+    dispatcher = _live_dispatcher(flow, executor, task, shards)
     try:
         mapped = executor.map(task, payloads)
         # Workers return ``(*payload, events)``; replay the buffered
         # events into the parent's observer (in shard order) and hand
         # the reduce the bare payloads, identical in shape to the
-        # serial path.
+        # serial path.  Live copies of these events only fed the
+        # progress display -- this replay is their single delivery
+        # into the parent's sinks.
         obs = flow._observer()
         stripped: List[Any] = []
         for result in mapped:
@@ -302,6 +383,10 @@ def _map_shards(flow: DesignFlow, task, shards) -> List[Any]:
         if token is not None:
             sweep_segments(token, len(shards), _TRACE_SEGMENT_TAGS)
         raise
+    finally:
+        if dispatcher is not None:
+            executor.on_live_events = None
+            dispatcher.finish()
 
 
 def _reduce_trace_parts(parts: List[Any]) -> Tuple[np.ndarray, np.ndarray]:
@@ -355,6 +440,7 @@ def run_trace_campaign(flow: DesignFlow) -> Tuple[Any, Dict[str, Any]]:
     ):
         parts = _map_shards(flow, _trace_shard_task, shards)
         plaintexts, traces = _reduce_trace_parts(parts)
+        sample_resource_gauges(flow)
     trace_set = TraceSet(
         plaintexts=plaintexts,
         traces=traces,
@@ -395,6 +481,7 @@ def run_assessment_campaign(
         workers=execution.workers,
     ):
         results = _map_shards(flow, _assessment_shard_task, shards)
+        sample_resource_gauges(flow)
     methods, chunks = results[0]
     for other_methods, other_chunks in results[1:]:
         chunks += other_chunks

@@ -33,9 +33,17 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..flow.config import CampaignConfig, ConfigError, FlowConfig
 from ..flow.pipeline import DesignFlow
-from ..obs import capture_events, get_observer, observer_from_config, use_observer
+from ..obs import (
+    LiveDispatcher,
+    capture_events,
+    get_observer,
+    observer_from_config,
+    use_observer,
+    worker_task,
+)
 from ..reporting.tables import format_table
 from .executors import get_executor
+from .runner import _sample_gauges
 
 __all__ = ["SweepReport", "build_grid", "run_sweep"]
 
@@ -119,10 +127,11 @@ def _sweep_cell_task(
     config = FlowConfig.from_dict(json.loads(config_json))
     flow = DesignFlow(None, config)
     start = time.perf_counter()
-    with capture_events(config.obs) as (obs, events):
-        with obs.span("sweep.cell", cell=name):
-            report = flow.run(list(stages) if stages is not None else None)
-        obs.counter("sweep.cells_done", 1, cell=name)
+    with worker_task("sweep", cell=name):
+        with capture_events(config.obs) as (obs, events):
+            with obs.span("sweep.cell", cell=name):
+                report = flow.run(list(stages) if stages is not None else None)
+            obs.counter("sweep.cells_done", 1, cell=name)
     elapsed = time.perf_counter() - start
     record: Dict[str, Any] = {
         "cell": name,
@@ -258,6 +267,24 @@ def run_sweep(
     current = get_observer()
     obs = current if current.active else observer_from_config(base.obs)
     owned = obs is not current
+    # Live telemetry across cells: heartbeats and the cells-done counter
+    # stream mid-sweep, the per-cell buffered events stay the durable
+    # record replayed below.
+    dispatcher = None
+    if (
+        getattr(base.obs, "live", False)
+        and getattr(pool, "supports_live_events", False)
+        and not getattr(pool, "effectively_serial", False)
+    ):
+        dispatcher = LiveDispatcher(
+            obs,
+            total=len(payloads),
+            unit="cells",
+            progress=base.obs.progress and base.obs.verbosity > 0,
+            resource_sampler=lambda: _sample_gauges(obs),
+        )
+        pool.on_live_events = dispatcher
+        pool.heartbeat_s = base.obs.heartbeat_s
     start = time.perf_counter()
     try:
         with use_observer(obs), obs.span(
@@ -270,6 +297,9 @@ def run_sweep(
                 if events:
                     obs.replay(events)
     finally:
+        if dispatcher is not None:
+            pool.on_live_events = None
+            dispatcher.finish()
         if owned:
             obs.close()
     for (name, overrides, _config), record in zip(cells, records):

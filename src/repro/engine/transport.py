@@ -44,7 +44,13 @@ __all__ = [
     "attach_array",
     "release_segments",
     "sweep_segments",
+    "segment_stats",
 ]
+
+#: Segments this (parent) process currently has attached, name -> bytes.
+#: Pure accounting for the live resource gauges; attach/release keep it
+#: in step and :func:`segment_stats` reads it.
+_ATTACHED: dict = {}
 
 
 @dataclass(frozen=True)
@@ -128,6 +134,7 @@ def attach_array(
     """
     segment = shared_memory.SharedMemory(name=block.name)
     array = np.ndarray(block.shape, dtype=np.dtype(block.dtype), buffer=segment.buf)
+    _ATTACHED[segment.name] = segment.size
     return array, segment
 
 
@@ -140,6 +147,7 @@ def release_segments(
     attached lists and on segments something else already unlinked.
     """
     for segment in segments:
+        _ATTACHED.pop(getattr(segment, "name", None), None)
         try:
             segment.close()
         except Exception:  # pragma: no cover - defensive
@@ -153,6 +161,15 @@ def release_segments(
                 _untrack(segment)
             except Exception:  # pragma: no cover - defensive
                 pass
+
+
+def segment_stats() -> Tuple[int, int]:
+    """``(attached segment count, total attached bytes)`` right now.
+
+    A resource gauge for the live telemetry: how much shared memory the
+    parent currently holds mapped between attach and release.
+    """
+    return len(_ATTACHED), sum(_ATTACHED.values())
 
 
 def sweep_segments(token: str, count: int, tags: Sequence[str]) -> int:

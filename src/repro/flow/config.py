@@ -680,6 +680,18 @@ class ObservabilityConfig(_ConfigBase):
             only takes effect when some sink is active to receive the
             events (``trace``, ``progress`` or ``sinks``).
         profile_top: hotspot entries kept per profiled span.
+        live: stream a throttled sample of worker events plus periodic
+            ``worker.heartbeat`` beats to the parent *mid-shard* over
+            the process executor's live channel
+            (:mod:`repro.obs.live`) -- the engine of ``--progress``
+            ETA rendering and ``repro top``.  The live channel is a
+            lossy display path on top of the durable buffered one; a
+            live run stays bit-identical to a buffered or untraced
+            one.  Serial execution ignores the flag (events are
+            already immediate in-process).
+        heartbeat_s: seconds between a live worker's heartbeats.
+        live_interval_s: worker-side minimum interval between sampled
+            (non-critical) live events; 0 streams everything.
     """
 
     trace: Optional[str] = None
@@ -688,6 +700,9 @@ class ObservabilityConfig(_ConfigBase):
     sinks: Tuple[str, ...] = ()
     profile: bool = False
     profile_top: int = 10
+    live: bool = False
+    heartbeat_s: float = 1.0
+    live_interval_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.trace is not None:
@@ -705,11 +720,21 @@ class ObservabilityConfig(_ConfigBase):
             raise ConfigError(
                 f"profile_top must be in 1..100, got {self.profile_top}"
             )
+        if not self.heartbeat_s > 0:
+            raise ConfigError(
+                f"heartbeat_s must be positive, got {self.heartbeat_s}"
+            )
+        if self.live_interval_s < 0:
+            raise ConfigError(
+                f"live_interval_s must be >= 0, got {self.live_interval_s}"
+            )
 
     @property
     def active(self) -> bool:
         """True when the flow builds an observer at all."""
-        return self.trace is not None or self.progress or bool(self.sinks)
+        return (
+            self.trace is not None or self.progress or bool(self.sinks) or self.live
+        )
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,13 @@ or from the CLI::
 
     repro sweep --axis sbox_bits=3,4 --trace events.jsonl --progress
     repro trace summary events.jsonl
+
+On top of the durable buffered path, :mod:`repro.obs.live` streams a
+throttled sample of worker events plus ``worker.heartbeat`` beats to
+the parent *mid-shard* over a pool-owned queue -- the live rendering
+behind ``--progress``, ``repro top`` and ``repro trace summary
+--follow``.  The live channel is lossy by design and the buffer stays
+canonical, so the cardinal rule holds unchanged.
 """
 
 from .core import (
@@ -38,6 +45,7 @@ from .core import (
 )
 from .events import (
     EVENT_KINDS,
+    LIVE_KINDS,
     METRIC_KINDS,
     PROFILE_KINDS,
     SCHEMA_VERSION,
@@ -46,6 +54,17 @@ from .events import (
     ObsError,
     make_event,
     validate_event,
+)
+from .live import (
+    LiveChannel,
+    LiveDispatcher,
+    LiveSink,
+    ProgressAggregator,
+    install_worker_channel,
+    rss_bytes,
+    start_heartbeat,
+    worker_queue,
+    worker_task,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import DEFAULT_PROFILE_TOP, SpanProfiler, hotspots_from_profile
@@ -59,7 +78,13 @@ from .sinks import (
     get_sink,
     register_sink,
 )
-from .summary import SpanStats, TraceSummary, summarize_events, summarize_trace_file
+from .summary import (
+    SpanStats,
+    TraceSummary,
+    iter_trace_events,
+    summarize_events,
+    summarize_trace_file,
+)
 
 __all__ = [
     "Observer",
@@ -76,6 +101,7 @@ __all__ = [
     "SPAN_KINDS",
     "METRIC_KINDS",
     "PROFILE_KINDS",
+    "LIVE_KINDS",
     "make_event",
     "validate_event",
     "SpanProfiler",
@@ -97,4 +123,14 @@ __all__ = [
     "TraceSummary",
     "summarize_events",
     "summarize_trace_file",
+    "iter_trace_events",
+    "LiveChannel",
+    "LiveDispatcher",
+    "LiveSink",
+    "ProgressAggregator",
+    "install_worker_channel",
+    "worker_queue",
+    "worker_task",
+    "start_heartbeat",
+    "rss_bytes",
 ]

@@ -36,6 +36,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .events import METRIC_KINDS, make_event
+from .live import LiveSink, start_heartbeat, worker_queue
 from .metrics import MetricsRegistry
 from .profile import DEFAULT_PROFILE_TOP, SpanProfiler
 from .sinks import BufferSink, NullSink, Sink, get_sink
@@ -192,6 +193,18 @@ class Observer:
         self._seq += 1
         self._dispatch(event)
 
+    def event(self, kind: str, name: str, **fields: Any) -> None:
+        """Emit one event of an arbitrary schema kind.
+
+        The generic escape hatch for kinds without a dedicated helper
+        (the live-telemetry ``progress`` events use it); span and
+        metric emission should go through their typed methods, which
+        also maintain the metrics registry.
+        """
+        if not self.active:
+            return
+        self._emit(kind, name, **fields)
+
     def span(self, name: str, **attrs: Any):
         """Context manager timing a section; emits start/end/error events."""
         if not self.active:
@@ -331,6 +344,15 @@ def capture_events(enabled: Any):
     and every start method unchanged.  Events travel as plain dicts in
     the shard result tuple regardless of whether the bulk arrays ride
     the pickle pipe or shared-memory segments.
+
+    When the worker has a live channel installed by its pool
+    (:func:`repro.obs.live.install_worker_channel`) and the config asks
+    for it (``live=True``), the buffering observer gains a
+    :class:`~repro.obs.live.LiveSink` streaming a throttled sample of
+    the same events to the parent mid-shard, and a heartbeat thread
+    pulses ``worker.heartbeat`` events every ``heartbeat_s`` seconds
+    for the duration of the block.  Both are lossy side channels on top
+    of the buffer, never replacements for it.
     """
     config = enabled if not isinstance(enabled, bool) else None
     active = bool(getattr(enabled, "active", enabled))
@@ -347,15 +369,34 @@ def capture_events(enabled: Any):
             yield current, None
         return
     buffer: List[Dict[str, Any]] = []
+    sinks: List[Sink] = [BufferSink(buffer)]
+    queue = worker_queue()
+    streaming = queue is not None and bool(getattr(config, "live", False))
+    if streaming:
+        # The live side channel: a throttled sample of the event flow
+        # streams to the parent mid-shard, while the buffer stays the
+        # complete durable record that piggybacks on the shard result.
+        sinks.append(
+            LiveSink(queue, interval_s=getattr(config, "live_interval_s", 0.25))
+        )
     observer = Observer(
-        (BufferSink(buffer),),
+        sinks,
         profile=bool(getattr(config, "profile", False)),
         profile_top=int(
             getattr(config, "profile_top", DEFAULT_PROFILE_TOP) or DEFAULT_PROFILE_TOP
         ),
     )
-    with use_observer(observer):
-        yield observer, buffer
+    heartbeat = (
+        start_heartbeat(queue, getattr(config, "heartbeat_s", 1.0))
+        if streaming
+        else None
+    )
+    try:
+        with use_observer(observer):
+            yield observer, buffer
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
 
 
 def observer_from_config(config: Any) -> Observer:

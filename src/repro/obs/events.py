@@ -31,6 +31,15 @@ profiled span is followed by one ``span.profile`` event whose
 "cumtime_s": float}`` -- so a perf regression report can point at the
 function that caused it.
 
+Version 3 added the live-telemetry kinds (:data:`LIVE_KINDS`):
+``worker.heartbeat`` (periodic worker liveness -- ``value`` is the
+worker's cumulative traces completed, ``attrs`` carry the current
+shard/cell, ``traces_done`` and ``rss_mb``) and ``progress``
+(parent-side aggregate -- ``value`` is units done, ``attrs`` the
+aggregator snapshot with rate/ETA/worker count).  Both exist only on
+the live channel (:mod:`repro.obs.live`); they describe the run, never
+the results.
+
 Timestamps and durations are observability side-channels: they never
 feed back into any computation, which is why a traced campaign stays
 bit-identical to an untraced one.
@@ -50,6 +59,7 @@ __all__ = [
     "SPAN_KINDS",
     "METRIC_KINDS",
     "PROFILE_KINDS",
+    "LIVE_KINDS",
     "HOTSPOT_FIELDS",
     "ObsError",
     "make_event",
@@ -57,11 +67,12 @@ __all__ = [
 ]
 
 #: Bump when the event shape (not the emitted names) changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Older schema versions whose events still validate (version 2 only
-#: *added* the ``span.profile`` kind, so version-1 logs stay readable).
-SUPPORTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
+#: Older schema versions whose events still validate (versions 2 and 3
+#: only *added* kinds -- ``span.profile``, then the live kinds -- so
+#: version-1 and version-2 logs stay readable).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, SCHEMA_VERSION)
 
 #: Span lifecycle events (``span.start`` is emitted only at high
 #: verbosity sinks' discretion -- it is part of the schema regardless).
@@ -75,7 +86,11 @@ METRIC_KINDS = ("counter", "gauge", "histogram")
 #: top-N cumulative hotspots in the ``profile`` field.
 PROFILE_KINDS = ("span.profile",)
 
-EVENT_KINDS = SPAN_KINDS + METRIC_KINDS + PROFILE_KINDS
+#: Live-telemetry kinds (schema version 3): worker liveness beats and
+#: parent-side progress aggregates, streamed by :mod:`repro.obs.live`.
+LIVE_KINDS = ("worker.heartbeat", "progress")
+
+EVENT_KINDS = SPAN_KINDS + METRIC_KINDS + PROFILE_KINDS + LIVE_KINDS
 
 #: Required keys of each hotspot entry in a ``span.profile`` event.
 HOTSPOT_FIELDS = ("func", "calls", "tottime_s", "cumtime_s")
@@ -156,7 +171,9 @@ def validate_event(event: Any) -> Dict[str, Any]:
         ):
             raise ObsError(f"event field {field!r} must be a number, got "
                            f"{event.get(field)!r}")
-    if kind in METRIC_KINDS and not isinstance(event.get("value"), numbers.Real):
+    if kind in METRIC_KINDS + LIVE_KINDS and not isinstance(
+        event.get("value"), numbers.Real
+    ):
         raise ObsError(f"{kind} event needs a numeric 'value', got "
                        f"{event.get('value')!r}")
     if kind in ("span.end", "span.error", "span.profile"):

@@ -1,0 +1,579 @@
+"""The live telemetry channel: streaming worker events mid-shard.
+
+The buffered piggyback path (:func:`repro.obs.capture_events`) is the
+*durable* event transport: workers buffer everything and the parent
+replays it after each shard returns.  Durable, deterministic -- and
+dark: a multi-hour parallel sweep shows nothing until a shard
+completes, and a stuck worker is indistinguishable from a slow one
+until the shard timeout fires.
+
+This module adds the *live* side channel.  The process executor pairs
+every persistent worker pool with one bounded ``Queue`` built from the
+pool's own ``multiprocessing`` context (so fork and spawn workers both
+inherit it through the pool initializer); workers stream a throttled
+sample of their span/progress events plus periodic ``worker.heartbeat``
+events (pid, shard id, traces completed, RSS) through it, and the
+parent drains the queue *while* the map is in flight.
+
+The delivery contract keeps the cardinal rule intact:
+
+* the live channel is **lossy by design** -- a full or closed queue
+  drops the event (with a single stderr warning per worker process)
+  rather than ever blocking the shard;
+* the buffered piggyback stays the complete, canonical record: live
+  copies of buffered events are used for progress display only and are
+  never re-dispatched into sinks, so the trace file holds exactly one
+  copy of every span/metric event;
+* ``worker.heartbeat`` and parent-side ``progress`` events exist *only*
+  on the live path and are dispatched into the parent's sinks as they
+  arrive -- they are observability about the run, not part of any
+  result, so live-channel runs stay bit-identical to buffered and
+  untraced runs.
+
+Parent-side, :class:`ProgressAggregator` folds the stream into a
+per-shard / per-cell state machine with an EWMA rate and an ETA, and
+:class:`LiveDispatcher` is the drop-in ``on_live_events`` handler the
+engine attaches to the executor: it feeds the aggregator, forwards
+heartbeats to the observer, emits periodic ``progress`` events and
+renders the in-place stderr progress line for ``--progress``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+from .events import make_event
+from .sinks import Sink
+
+__all__ = [
+    "LIVE_QUEUE_SIZE",
+    "LiveChannel",
+    "LiveSink",
+    "ProgressAggregator",
+    "LiveDispatcher",
+    "install_worker_channel",
+    "worker_queue",
+    "worker_task",
+    "safe_put",
+    "heartbeat_event",
+    "start_heartbeat",
+    "rss_bytes",
+]
+
+#: Bound on the number of in-flight live events per pool.  The channel
+#: is a lossy side channel: when the parent falls behind, workers drop
+#: events instead of blocking, so the bound only caps memory.
+LIVE_QUEUE_SIZE = 1024
+
+#: Event names the worker always forwards live (they carry the progress
+#: state the parent aggregates); everything else is sampled.
+_CRITICAL_SPAN_PREFIXES = ("shard.", "stage.", "sweep.")
+_CRITICAL_COUNTERS = ("sweep.cells_done",)
+
+
+def rss_bytes() -> int:
+    """This process's resident set size, stdlib only.
+
+    Reads ``/proc/self/statm`` where available (Linux) and falls back to
+    ``resource.getrusage`` peak-RSS elsewhere; returns 0 when neither
+    source works -- a heartbeat without RSS is still a heartbeat.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except Exception:  # pragma: no cover - non-Linux fallback
+        try:
+            import resource
+
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            return int(peak) * (1 if sys.platform == "darwin" else 1024)
+        except Exception:
+            return 0
+
+
+# --------------------------------------------------------------- parent side
+
+
+class LiveChannel:
+    """Parent-side handle of one pool's live event queue.
+
+    Created next to the pool from the pool's own ``get_context`` (the
+    queue must share the pool's start method to be inheritable by its
+    workers).  The parent only ever drains; workers only ever put.
+    """
+
+    def __init__(self, queue: Any) -> None:
+        self.queue = queue
+        self.closed = False
+
+    def drain(self, limit: int = 4096) -> List[Dict[str, Any]]:
+        """Every event currently queued (never blocks, never raises).
+
+        A closed or broken queue yields an empty list -- draining after
+        pool eviction is a safe no-op.
+        """
+        events: List[Dict[str, Any]] = []
+        if self.closed:
+            return events
+        import queue as queue_module
+
+        for _ in range(limit):
+            try:
+                events.append(self.queue.get_nowait())
+            except queue_module.Empty:
+                break
+            except (OSError, ValueError, EOFError):  # closed underneath us
+                break
+        return events
+
+    def close(self) -> None:
+        """Close the queue (idempotent); later drains return nothing."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.queue.close()
+            self.queue.join_thread()
+        except Exception:  # pragma: no cover - teardown is best-effort
+            pass
+
+
+# --------------------------------------------------------------- worker side
+
+#: The queue this worker process streams into, installed by the pool
+#: initializer (``None`` outside pool workers -- the serial path and the
+#: parent process never stream).
+_WORKER_QUEUE: Optional[Any] = None
+
+#: What this worker is currently doing, for heartbeat provenance.
+_WORKER_TASK: Dict[str, Any] = {}
+
+#: Traces completed by this worker process over its lifetime.
+_TRACES_DONE = 0
+
+#: Heartbeats get their own per-process sequence (they bypass any
+#: observer, so no observer hands them a ``seq``).
+_HEARTBEAT_SEQ = 0
+
+#: One warning per worker process when the live queue drops events.
+_DROP_WARNED = False
+
+
+def install_worker_channel(queue: Any) -> None:
+    """Pool-initializer hook: remember the pool's live queue.
+
+    Runs once in every worker process, fork- and spawn-started alike
+    (the queue travels through the pool's process-creation machinery,
+    which is the one place a ``multiprocessing`` queue may be pickled).
+    """
+    global _WORKER_QUEUE
+    _WORKER_QUEUE = queue
+
+
+def worker_queue() -> Optional[Any]:
+    """The live queue of this worker process (``None`` outside pools)."""
+    return _WORKER_QUEUE
+
+
+class worker_task:
+    """Context manager naming the task a worker is executing.
+
+    Heartbeats report whatever task is current (shard index, sweep
+    cell, expected traces); on successful completion the worker's
+    cumulative ``traces completed`` counter advances.  Pure worker-side
+    bookkeeping -- it never touches the computation.
+    """
+
+    def __init__(
+        self,
+        task: str,
+        shard: Optional[int] = None,
+        traces: Optional[int] = None,
+        cell: Optional[str] = None,
+    ) -> None:
+        self._state = {"task": task, "shard": shard, "traces": traces, "cell": cell}
+        self._previous: Optional[Dict[str, Any]] = None
+
+    def __enter__(self) -> "worker_task":
+        self._previous = dict(_WORKER_TASK)
+        _WORKER_TASK.clear()
+        _WORKER_TASK.update(self._state)
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        global _TRACES_DONE
+        if exc_type is None and self._state.get("traces"):
+            _TRACES_DONE += int(self._state["traces"])
+        _WORKER_TASK.clear()
+        if self._previous:
+            _WORKER_TASK.update(self._previous)
+        return False
+
+
+def safe_put(queue: Any, event: Dict[str, Any]) -> bool:
+    """Offer ``event`` to the live queue; drop it when that would block.
+
+    A full queue (the parent fell behind) and a closed queue (the pool
+    was evicted mid-flight) both drop the event.  The first drop prints
+    one stderr warning for the whole worker process; the shard result is
+    never touched either way.
+    """
+    global _DROP_WARNED
+    import queue as queue_module
+
+    try:
+        queue.put_nowait(event)
+        return True
+    except queue_module.Full:
+        reason = "full"
+    except Exception:  # noqa: BLE001 - closed/broken queue, drop quietly
+        reason = "closed"
+    if not _DROP_WARNED:
+        _DROP_WARNED = True
+        print(
+            f"repro: live event channel {reason}; dropping live telemetry "
+            f"(buffered events still arrive with the shard results)",
+            file=sys.stderr,
+        )
+    return False
+
+
+def heartbeat_event() -> Dict[str, Any]:
+    """One ``worker.heartbeat`` event for this worker, right now."""
+    global _HEARTBEAT_SEQ
+    seq = _HEARTBEAT_SEQ
+    _HEARTBEAT_SEQ += 1
+    return make_event(
+        "worker.heartbeat",
+        "worker.heartbeat",
+        seq=seq,
+        value=float(_TRACES_DONE),
+        attrs={
+            "task": _WORKER_TASK.get("task"),
+            "shard": _WORKER_TASK.get("shard"),
+            "cell": _WORKER_TASK.get("cell"),
+            "traces_done": _TRACES_DONE,
+            "rss_mb": round(rss_bytes() / 1e6, 1),
+        },
+    )
+
+
+class _Heartbeat:
+    """Daemon thread pulsing ``worker.heartbeat`` events into the queue.
+
+    Beats immediately on start (so shards shorter than the interval
+    still announce themselves) and then every ``interval_s`` until
+    stopped; :meth:`stop` joins the thread, so no beat outlives the
+    shard that started it.
+    """
+
+    def __init__(self, queue: Any, interval_s: float) -> None:
+        self._queue = queue
+        self._interval = max(0.01, float(interval_s))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+
+    def start(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while True:
+            safe_put(self._queue, heartbeat_event())
+            if self._stop.wait(self._interval):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def start_heartbeat(queue: Any, interval_s: float) -> _Heartbeat:
+    """Start the worker heartbeat; call ``.stop()`` when the task ends."""
+    return _Heartbeat(queue, interval_s).start()
+
+
+class LiveSink(Sink):
+    """Worker-side sink streaming a sample of the event flow live.
+
+    Attached *next to* the :class:`~repro.obs.sinks.BufferSink` inside
+    :func:`~repro.obs.capture_events`, so every event still reaches the
+    durable buffer; this sink only decides which ones are additionally
+    worth shipping mid-shard:
+
+    * shard/stage/sweep span completions and the ``sweep.cells_done``
+      counter always go (they carry the progress state);
+    * everything else is throttled to one event per ``interval_s``
+      (high-frequency kernel meters would otherwise swamp the queue);
+    * ``span.start`` events never go (pure noise at a distance).
+
+    Emission uses :func:`safe_put`: a full or closed queue drops the
+    event and never raises, so the observer's sink-isolation machinery
+    never disables this sink and the shard result is never at risk.
+    """
+
+    def __init__(self, queue: Any, interval_s: float = 0.25) -> None:
+        self._queue = queue
+        self._interval = max(0.0, float(interval_s))
+        self._last_sampled = 0.0
+
+    def _wanted(self, event: Dict[str, Any]) -> bool:
+        kind = event["kind"]
+        if kind == "span.start":
+            return False
+        name = event["name"]
+        if kind in ("span.end", "span.error") and name.startswith(
+            _CRITICAL_SPAN_PREFIXES
+        ):
+            return True
+        if kind == "counter" and name in _CRITICAL_COUNTERS:
+            return True
+        now = time.monotonic()
+        if now - self._last_sampled >= self._interval:
+            self._last_sampled = now
+            return True
+        return False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._wanted(event):
+            safe_put(self._queue, event)
+
+
+# ------------------------------------------------------------- aggregation
+
+
+class ProgressAggregator:
+    """Folds the live stream into completion state, an EWMA rate and an ETA.
+
+    Units are whatever the campaign counts in -- traces for a sharded
+    campaign, cells for a sweep.  Completions come from the durable
+    progress markers (``shard.*`` span ends carrying their ``count``,
+    the ``sweep.cells_done`` counter); heartbeats feed the per-worker
+    liveness table but never the completion count, so lossy heartbeat
+    delivery cannot skew the ETA.
+
+    Every method takes an explicit ``now`` so tests (and file replay,
+    which uses event timestamps) stay deterministic; live callers pass
+    ``time.monotonic()``.
+    """
+
+    #: EWMA smoothing factor of the completion rate.
+    ALPHA = 0.3
+
+    def __init__(self, total: Optional[int], unit: str = "traces") -> None:
+        self.total = int(total) if total else None
+        self.unit = unit
+        self.done = 0
+        self.shards_done = 0
+        self.cells_done = 0
+        self.heartbeats = 0
+        #: pid -> the newest heartbeat's state (ts/shard/cell/traces/rss).
+        self.workers: Dict[int, Dict[str, Any]] = {}
+        self._rate: Optional[float] = None
+        self._last_advance: Optional[float] = None
+
+    # -- feeding
+
+    def note_event(self, event: Dict[str, Any], now: float) -> None:
+        """Fold one live (or replayed) event into the state machine."""
+        kind = event.get("kind")
+        name = event.get("name", "")
+        if kind == "worker.heartbeat":
+            self.heartbeats += 1
+            attrs = event.get("attrs") or {}
+            self.workers[int(event.get("pid", 0))] = {
+                "ts": now,
+                "task": attrs.get("task"),
+                "shard": attrs.get("shard"),
+                "cell": attrs.get("cell"),
+                "traces_done": attrs.get("traces_done"),
+                "rss_mb": attrs.get("rss_mb"),
+            }
+            return
+        if kind in ("span.end", "span.error") and name.startswith("shard."):
+            self.shards_done += 1
+            count = (event.get("attrs") or {}).get("count")
+            if self.unit == "traces" and isinstance(count, (int, float)):
+                self.advance(int(count), now)
+            elif self.unit == "shards":
+                self.advance(1, now)
+            return
+        if kind == "counter" and name == "sweep.cells_done":
+            value = int(event.get("value", 1) or 1)
+            self.cells_done += value
+            if self.unit == "cells":
+                self.advance(value, now)
+
+    def advance(self, units: int, now: float) -> None:
+        """Record ``units`` more work done at time ``now`` (EWMA update)."""
+        self.done += units
+        if self._last_advance is not None:
+            dt = now - self._last_advance
+            if dt > 0:
+                sample = units / dt
+                self._rate = (
+                    sample
+                    if self._rate is None
+                    else self.ALPHA * sample + (1.0 - self.ALPHA) * self._rate
+                )
+        self._last_advance = now
+
+    # -- reading
+
+    @property
+    def rate(self) -> Optional[float]:
+        """EWMA completion rate in units per second (``None`` until two
+        completions have been observed)."""
+        return self._rate
+
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion (``None`` when unknowable)."""
+        if self.total is None or self._rate is None or self._rate <= 0:
+            return None
+        return max(0.0, (self.total - self.done) / self._rate)
+
+    def heartbeat_age(self, now: float) -> Optional[float]:
+        """Seconds since the newest heartbeat from any worker."""
+        if not self.workers:
+            return None
+        return max(0.0, now - max(state["ts"] for state in self.workers.values()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-scalar progress attributes for a ``progress`` event."""
+        snapshot: Dict[str, Any] = {
+            "unit": self.unit,
+            "done": self.done,
+            "shards_done": self.shards_done,
+            "workers": len(self.workers),
+        }
+        if self.total is not None:
+            snapshot["total"] = self.total
+        if self._rate is not None:
+            snapshot["rate"] = round(self._rate, 3)
+        eta = self.eta_s()
+        if eta is not None:
+            snapshot["eta_s"] = round(eta, 1)
+        if self.cells_done:
+            snapshot["cells_done"] = self.cells_done
+        return snapshot
+
+    def render_line(self, now: Optional[float] = None) -> str:
+        """One human-readable progress line (the ``--progress`` display)."""
+        if self.total:
+            percent = 100.0 * self.done / self.total
+            head = f"{self.unit} {self.done}/{self.total} ({percent:.1f}%)"
+        else:
+            head = f"{self.unit} {self.done}"
+        parts = [head]
+        if self._rate is not None:
+            parts.append(f"{self._rate:.1f}/s")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"ETA {eta:.1f}s")
+        if self.workers:
+            parts.append(f"{len(self.workers)} worker(s)")
+            if now is not None:
+                age = self.heartbeat_age(now)
+                if age is not None:
+                    parts.append(f"hb {age:.1f}s ago")
+        return "repro: " + " | ".join(parts)
+
+
+class LiveDispatcher:
+    """The executor's ``on_live_events`` handler, built by the engine.
+
+    One instance per map/sweep: feeds every drained event to its
+    :class:`ProgressAggregator`, forwards ``worker.heartbeat`` events
+    into the parent observer (they exist only on the live path, so this
+    is their one route into the trace file), emits a parent-side
+    ``progress`` event at most every ``interval_s``, samples resource
+    gauges through the optional ``resource_sampler`` hook, and -- when
+    ``progress`` is set -- renders the in-place stderr progress line
+    (in-place only on a TTY; throttled plain lines otherwise, so piped
+    logs stay readable).
+
+    Live copies of buffered span/metric events are *not* re-dispatched:
+    the buffered replay remains the single canonical delivery, which is
+    what keeps traced runs free of duplicates.
+    """
+
+    def __init__(
+        self,
+        observer: Any,
+        total: Optional[int] = None,
+        unit: str = "traces",
+        progress: bool = False,
+        interval_s: float = 0.5,
+        resource_sampler: Optional[Callable[[], None]] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.observer = observer
+        self.aggregator = ProgressAggregator(total, unit=unit)
+        self.progress = bool(progress)
+        self.interval_s = max(0.05, float(interval_s))
+        self.resource_sampler = resource_sampler
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_tick: Optional[float] = None
+        self._inplace = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._rendered_inplace = False
+
+    def __call__(self, events: List[Dict[str, Any]]) -> None:
+        now = time.monotonic()
+        for event in events:
+            self.aggregator.note_event(event, now)
+            if event.get("kind") == "worker.heartbeat":
+                # Heartbeats never ride the buffered path; dispatching
+                # them here is what lands them in the trace file.
+                self.observer.replay((event,))
+        self._tick(now)
+
+    def _tick(self, now: float, final: bool = False) -> None:
+        if (
+            not final
+            and self._last_tick is not None
+            and now - self._last_tick < self.interval_s
+        ):
+            return
+        self._last_tick = now
+        if self.resource_sampler is not None:
+            try:
+                self.resource_sampler()
+            except Exception:  # noqa: BLE001 - gauges must never kill a map
+                pass
+        self.observer.event(
+            "progress",
+            "engine.progress",
+            value=float(self.aggregator.done),
+            attrs=self.aggregator.snapshot(),
+        )
+        if self.progress:
+            self._render(now)
+
+    def _render(self, now: float) -> None:
+        line = self.aggregator.render_line(now)
+        try:
+            if self._inplace:
+                self.stream.write(f"\r\x1b[2K{line}")
+                self._rendered_inplace = True
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except Exception:  # pragma: no cover - broken stderr
+            self.progress = False
+
+    def finish(self) -> None:
+        """Final progress event and display cleanup; call after the map."""
+        self._tick(time.monotonic(), final=True)
+        if self._rendered_inplace:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except Exception:  # pragma: no cover - broken stderr
+                pass

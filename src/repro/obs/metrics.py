@@ -50,6 +50,12 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = float(value)
 
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= float(amount)
+
     def to_dict(self) -> Dict[str, Any]:
         return {"type": "gauge", "value": self.value}
 

@@ -161,6 +161,12 @@ class ConsoleSink(Sink):
             return 3 if not detail else 2
         if kind == "span.profile":
             return 2
+        if kind == "progress":
+            # The live dispatcher renders its own progress line; the
+            # console copy is detail for -v.
+            return 2
+        if kind == "worker.heartbeat":
+            return 3
         return 3  # span.start
 
     def _format(self, event: Dict[str, Any]) -> str:

@@ -6,18 +6,32 @@ counter totals and the per-cell view of a sweep.  The aggregation is
 also usable programmatically -- :func:`summarize_events` accepts any
 iterable of schema events, so tests and services can summarize a
 buffered run without touching the filesystem.
+
+Reading is tail-safe: a jsonl trace being appended by a live campaign
+may end in a *truncated* line (the writer mid-append).  The reader
+skips an unterminated trailing partial instead of raising -- only
+newline-terminated garbage is an error -- and :func:`iter_trace_events`
+exposes the same reader as a generator with an optional follow mode
+(the engine of ``repro top`` and ``repro trace summary --follow``).
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from .events import ObsError, validate_event
 from .metrics import Histogram
 
-__all__ = ["SpanStats", "TraceSummary", "summarize_events", "summarize_trace_file"]
+__all__ = [
+    "SpanStats",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_trace_file",
+    "iter_trace_events",
+]
 
 
 @dataclass
@@ -58,6 +72,8 @@ class TraceSummary:
 
     events: int = 0
     errors: int = 0
+    #: ``worker.heartbeat`` events seen (live-channel traces only).
+    heartbeats: int = 0
     #: span name -> aggregate timing, insertion-ordered by first completion.
     spans: Dict[str, SpanStats] = field(default_factory=dict)
     #: counter name -> summed value.
@@ -100,6 +116,8 @@ class TraceSummary:
             if stats is None:
                 stats = self.histograms[name] = Histogram()
             stats.observe(event.get("value", 0.0))
+        elif kind == "worker.heartbeat":
+            self.heartbeats += 1
         elif kind == "span.profile":
             merged = self.profiles.setdefault(name, {})
             for entry in event.get("profile", ()):  # validated upstream
@@ -126,6 +144,7 @@ class TraceSummary:
         return {
             "events": self.events,
             "errors": self.errors,
+            "heartbeats": self.heartbeats,
             "spans": {name: stats.to_dict() for name, stats in self.spans.items()},
             "counters": dict(self.counters),
             "histograms": {
@@ -150,25 +169,74 @@ def summarize_events(events: Iterable[Dict[str, Any]]) -> TraceSummary:
     return summary
 
 
+def _parse_line(path: str, lineno: int, line: str) -> Dict[str, Any]:
+    """One complete jsonl line -> validated event; errors name the line."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+    try:
+        return validate_event(event)
+    except ObsError as exc:
+        raise ObsError(f"{path}:{lineno}: {exc}") from None
+
+
+def iter_trace_events(
+    path: str,
+    follow: bool = False,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield validated events from a jsonl trace, optionally tailing it.
+
+    Blank lines are skipped; a complete (newline-terminated) line that
+    is not valid JSON or not a schema-valid event raises
+    :class:`~repro.obs.events.ObsError` naming the line number.  An
+    *unterminated* trailing line is a writer mid-append, not an error:
+    without ``follow`` it is included only when it already parses as a
+    valid event (the write happened to be atomic) and silently skipped
+    otherwise; with ``follow`` the reader holds onto the partial and
+    keeps polling every ``poll_s`` seconds until the rest of the line --
+    or more lines -- arrive, until the optional ``stop`` callable
+    returns True.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lineno = 0
+        partial = ""
+        while True:
+            chunk = handle.readline()
+            if chunk:
+                partial += chunk
+                if not partial.endswith("\n"):
+                    continue  # readline stopped at EOF mid-line
+                line, partial = partial.strip(), ""
+                lineno += 1
+                if line:
+                    yield _parse_line(path, lineno, line)
+                continue
+            # At EOF (readline returned nothing new).
+            if follow and not (stop is not None and stop()):
+                time.sleep(poll_s)
+                continue
+            remainder = partial.strip()
+            if remainder:
+                try:
+                    yield validate_event(json.loads(remainder))
+                except (ValueError, ObsError):
+                    pass  # truncated trailing line: skip, don't raise
+            return
+
+
 def summarize_trace_file(path: str) -> TraceSummary:
     """Read a jsonl trace file and aggregate it.
 
-    Blank lines are ignored; a line that is not valid JSON or not a
-    schema-valid event raises :class:`~repro.obs.events.ObsError` naming
-    the offending line number.
+    Blank lines are ignored; a complete line that is not valid JSON or
+    not a schema-valid event raises :class:`~repro.obs.events.ObsError`
+    naming the offending line number.  A truncated trailing line (a
+    live writer mid-append) is skipped, so summarizing a growing trace
+    is always safe.
     """
     summary = TraceSummary()
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ObsError(f"{path}:{lineno}: not valid JSON: {exc}") from None
-            try:
-                summary.add(validate_event(event))
-            except ObsError as exc:
-                raise ObsError(f"{path}:{lineno}: {exc}") from None
+    for event in iter_trace_events(path):
+        summary.add(event)
     return summary

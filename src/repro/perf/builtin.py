@@ -407,6 +407,133 @@ LAYOUT_BENCHMARK = Benchmark(
 
 
 # ---------------------------------------------------------------------------
+# obs: observability overhead -- traced and live-channel vs untraced
+
+
+OBS_KEY = 0xB
+OBS_WORKERS = 2
+OBS_SHARD_SIZE = 256
+
+
+def _run_obs(quick: bool) -> BenchResult:
+    from ..flow import (
+        CampaignConfig,
+        DesignFlow,
+        ExecutionConfig,
+        FlowConfig,
+        ObservabilityConfig,
+    )
+    from ..engine import warm_pool
+    from ..obs import observer_from_config, use_observer
+
+    traces = _trace_count(8000, 1000, quick)
+
+    def campaign(obs: "ObservabilityConfig"):
+        config = FlowConfig(
+            name="bench_obs",
+            campaign=CampaignConfig(
+                key=OBS_KEY, trace_count=traces, noise_std=0.002
+            ),
+            execution=ExecutionConfig(
+                workers=OBS_WORKERS, shard_size=OBS_SHARD_SIZE
+            ),
+            obs=obs,
+        )
+        flow = DesignFlow.sbox(config=config)
+        observer = observer_from_config(config.obs)
+        start = time.perf_counter()
+        try:
+            with use_observer(observer):
+                result = flow.traces()
+        finally:
+            observer.close()
+        return result, time.perf_counter() - start
+
+    warm_pool(OBS_WORKERS)  # keep pool startup out of every timing
+    trace_dir = tempfile.mkdtemp(prefix="bench_obs_")
+    try:
+        untraced, untraced_s = campaign(ObservabilityConfig())
+        traced, traced_s = campaign(
+            ObservabilityConfig(
+                trace=os.path.join(trace_dir, "buffered.jsonl"), verbosity=0
+            )
+        )
+        live, live_s = campaign(
+            ObservabilityConfig(
+                trace=os.path.join(trace_dir, "live.jsonl"),
+                verbosity=0,
+                live=True,
+                heartbeat_s=0.25,
+            )
+        )
+        # The cardinal rule is part of what the numbers certify.
+        if not np.array_equal(untraced.traces, traced.traces):
+            raise PerfError("traced campaign is not bit-identical to untraced")
+        if not np.array_equal(untraced.traces, live.traces):
+            raise PerfError(
+                "live-channel campaign is not bit-identical to untraced"
+            )
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
+
+    metrics = {
+        "untraced_tps": round(traces / untraced_s, 1),
+        "traced_tps": round(traces / traced_s, 1),
+        "live_tps": round(traces / live_s, 1),
+        "overhead_ratio": round(traced_s / untraced_s, 3),
+        "live_overhead_ratio": round(live_s / untraced_s, 3),
+    }
+    results = {
+        "trace_count": traces,
+        "workers": OBS_WORKERS,
+        "shard_size": OBS_SHARD_SIZE,
+        "seconds": {
+            "untraced": round(untraced_s, 4),
+            "traced": round(traced_s, 4),
+            "live": round(live_s, 4),
+        },
+        "traces_per_second": {
+            "untraced": metrics["untraced_tps"],
+            "traced": metrics["traced_tps"],
+            "live": metrics["live_tps"],
+        },
+        "overhead_ratio": {
+            "traced": metrics["overhead_ratio"],
+            "live": metrics["live_overhead_ratio"],
+        },
+    }
+    params = {
+        "trace_count": traces,
+        "workers": OBS_WORKERS,
+        "shard_size": OBS_SHARD_SIZE,
+        "quick": quick,
+    }
+    return BenchResult(metrics=metrics, results=results, params=params)
+
+
+OBS_BENCHMARK = Benchmark(
+    name="obs",
+    description="observability overhead: buffered-trace and live-channel "
+    "campaign throughput vs untraced (bit-identity checked)",
+    metrics=(
+        MetricSpec("untraced_tps", "traces/s", workers=OBS_WORKERS),
+        MetricSpec("traced_tps", "traces/s", workers=OBS_WORKERS),
+        MetricSpec("live_tps", "traces/s", workers=OBS_WORKERS),
+        MetricSpec(
+            "overhead_ratio", "x", higher_is_better=False,
+            description="traced seconds over untraced seconds; ~1 means "
+            "tracing is free",
+        ),
+        MetricSpec(
+            "live_overhead_ratio", "x", higher_is_better=False,
+            description="live-channel seconds over untraced seconds",
+        ),
+    ),
+    run=_run_obs,
+)
+
+
+# ---------------------------------------------------------------------------
 # scenarios: round-datapath throughput vs width and workers
 
 
@@ -527,11 +654,12 @@ SCENARIOS_BENCHMARK = Benchmark(
 
 
 def register_builtin_benchmarks() -> None:
-    """Register the four built-ins (idempotent)."""
+    """Register the built-in benchmarks (idempotent)."""
     for benchmark in (
         ENGINE_BENCHMARK,
         KERNEL_BENCHMARK,
         LAYOUT_BENCHMARK,
+        OBS_BENCHMARK,
         SCENARIOS_BENCHMARK,
     ):
         register_benchmark(benchmark, overwrite=True)

@@ -12,11 +12,12 @@ from .perf import (
 )
 from .results import ExperimentResult, format_experiment_results
 from .tables import format_table
-from .trace import format_trace_summary
+from .trace import format_live_status, format_trace_summary
 
 __all__ = [
     "format_table",
     "format_trace_summary",
+    "format_live_status",
     "format_benchmark_list",
     "format_bench_record",
     "format_history",

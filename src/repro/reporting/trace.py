@@ -4,16 +4,19 @@ The data side lives in :mod:`repro.obs.summary`; this module turns a
 :class:`~repro.obs.summary.TraceSummary` into the aligned tables
 ``repro trace summary events.jsonl`` prints: per-span timing, counter
 totals (cache hits and misses included), metric distributions and --
-for sweep traces -- the per-cell breakdown.
+for sweep traces -- the per-cell breakdown.  :func:`format_live_status`
+is the compact companion view ``repro top`` refreshes while tailing a
+growing trace: progress line, per-worker heartbeat table, busiest
+spans.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from .tables import format_table
 
-__all__ = ["format_trace_summary"]
+__all__ = ["format_trace_summary", "format_live_status"]
 
 
 def _seconds(value: float) -> str:
@@ -107,6 +110,70 @@ def format_trace_summary(summary) -> str:
         blocks.append(
             format_table(
                 ["cell", "time [s]", "status"], rows, title="Sweep cells"
+            )
+        )
+
+    return "\n\n".join(blocks)
+
+
+def _dash(value) -> str:
+    return "-" if value is None else str(value)
+
+
+def format_live_status(summary, aggregator, now: Optional[float] = None) -> str:
+    """Status block ``repro top`` renders from a (growing) trace.
+
+    ``summary`` is the :class:`~repro.obs.summary.TraceSummary` of
+    everything read so far, ``aggregator`` the
+    :class:`~repro.obs.live.ProgressAggregator` fed the same events with
+    their file timestamps, and ``now`` the newest event timestamp seen
+    (heartbeat ages are relative to it, so a finished trace reads as a
+    snapshot of its final moment, not as ever-growing staleness).
+    """
+    header = aggregator.render_line(now)
+    counts = f"{summary.events} events, {summary.heartbeats} heartbeats"
+    if summary.errors:
+        counts += f", {summary.errors} errors"
+    blocks: List[str] = [f"{header}\n{counts}"]
+
+    if aggregator.workers:
+        rows = []
+        for pid, state in sorted(aggregator.workers.items()):
+            age = (
+                f"{max(0.0, now - state['ts']):.1f}" if now is not None else "-"
+            )
+            rows.append(
+                [
+                    pid,
+                    _dash(state.get("task")),
+                    _dash(state.get("shard")),
+                    _dash(state.get("cell")),
+                    _dash(state.get("traces_done")),
+                    _dash(state.get("rss_mb")),
+                    age,
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["pid", "task", "shard", "cell", "traces", "rss [MB]", "hb [s]"],
+                rows,
+                title="Workers",
+            )
+        )
+
+    if summary.spans:
+        busiest = sorted(
+            summary.spans.items(), key=lambda item: (-item[1].total_s, item[0])
+        )[:8]
+        rows = [
+            [name, stats.count, _seconds(stats.total_s), _seconds(stats.mean_s)]
+            for name, stats in busiest
+        ]
+        blocks.append(
+            format_table(
+                ["span", "count", "total [s]", "mean [s]"],
+                rows,
+                title="Busiest spans",
             )
         )
 

@@ -18,6 +18,7 @@ Pins the contracts PR 9 introduced:
 
 import glob
 import os
+import time
 
 import numpy as np
 import pytest
@@ -87,6 +88,14 @@ def _pid(_payload):
     return os.getpid()
 
 
+def _pid_slow(_payload):
+    # Slow enough that one worker cannot swallow the whole map before
+    # its sibling finishes booting -- pid-set comparisons across maps
+    # need every worker to actually participate.
+    time.sleep(0.1)
+    return os.getpid()
+
+
 def _leftover_segments():
     if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
         return []
@@ -147,14 +156,14 @@ class TestExecutorBasics:
 class TestPersistentPools:
     def test_pool_persists_across_map_calls(self):
         executor = get_executor("process", 2)
-        first = set(executor.map(_pid, range(8)))
-        second = set(executor.map(_pid, range(8)))
+        first = set(executor.map(_pid_slow, range(8)))
+        second = set(executor.map(_pid_slow, range(8)))
         assert first == second  # same worker processes, not a new pool
         assert not first & {os.getpid()}  # and actually out of process
 
     def test_two_executor_instances_share_one_pool(self):
-        a = set(get_executor("process", 2).map(_pid, range(8)))
-        b = set(get_executor("process", 2).map(_pid, range(8)))
+        a = set(get_executor("process", 2).map(_pid_slow, range(8)))
+        b = set(get_executor("process", 2).map(_pid_slow, range(8)))
         assert a == b
 
     def test_warm_pool_and_shutdown(self):
